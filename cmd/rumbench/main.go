@@ -1,0 +1,96 @@
+// Command rumbench regenerates the paper's experimental artifacts from the
+// implemented structures: the Section-2 propositions, Table 1, Figures 1–3,
+// the Section-3 conjecture grid, and the Section-4/5 adaptivity runs.
+//
+// Usage:
+//
+//	rumbench -exp all
+//	rumbench -exp table1,fig1 -n 65536 -ops 20000
+//	rumbench -exp fig3 -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exps  = flag.String("exp", "all", "comma-separated experiments: props,table1,fig1,fig2,fig3,conjecture,adaptive,extensions,all")
+		n     = flag.Int("n", 0, "dataset size in records (0 = per-experiment default)")
+		ops   = flag.Int("ops", 0, "measured operations per run (0 = default)")
+		seed  = flag.Int64("seed", 1, "deterministic seed")
+		m     = flag.Int("m", 256, "range query result size for table1")
+		quick = flag.Bool("quick", false, "small sizes for a fast pass")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{Seed: *seed, N: *n, Ops: *ops}
+	if *quick {
+		if cfg.N == 0 {
+			cfg.N = 8192
+		}
+		if cfg.Ops == 0 {
+			cfg.Ops = 4000
+		}
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exps, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+
+	run := func(name string, fn func() string) {
+		if !all && !want[name] {
+			return
+		}
+		fmt.Printf("==== %s ====\n", name)
+		start := time.Now()
+		fmt.Println(fn())
+		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("props", func() string { return bench.RunProps(cfg).Render() })
+	run("table1", func() string {
+		ns := []int{1 << 14, 1 << 16, 1 << 18}
+		if *quick {
+			ns = []int{1 << 12, 1 << 14}
+		}
+		return bench.RunTable1(cfg, ns, *m).Render()
+	})
+	run("fig1", func() string { return bench.RunFig1(cfg).Render() })
+	run("fig2", func() string { return bench.RunFig2(cfg).Render() })
+	run("fig3", func() string {
+		c := cfg
+		if c.N == 0 {
+			c.N = 16384
+		}
+		if c.Ops == 0 {
+			c.Ops = 8000
+		}
+		return bench.RunFig3(c).Render()
+	})
+	run("conjecture", func() string {
+		c := cfg
+		if c.N == 0 {
+			c.N = 16384
+		}
+		if c.Ops == 0 {
+			c.Ops = 8000
+		}
+		return bench.RunConjecture(c).Render()
+	})
+	run("adaptive", func() string { return bench.RunAdaptive(cfg).Render() })
+	run("extensions", func() string { return bench.RunExtensions(cfg).Render() })
+
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
+}

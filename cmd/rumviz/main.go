@@ -1,0 +1,78 @@
+// Command rumviz profiles chosen access methods under a chosen workload mix
+// and renders their positions in the RUM triangle — an interactive
+// counterpart to the fixed Figure-1 experiment.
+//
+// Usage:
+//
+//	rumviz                                  # full catalog, balanced mix
+//	rumviz -methods btree,hash,lsm-level -get 0.9 -update 0.1
+//	rumviz -absolute                        # plot absolute amplifications
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/methods"
+	"repro/internal/rum"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		list     = flag.String("methods", "", "comma-separated catalog names (default: all)")
+		n        = flag.Int("n", 16384, "records preloaded")
+		ops      = flag.Int("ops", 8000, "measured operations")
+		get      = flag.Float64("get", 0.58, "point query fraction")
+		rng      = flag.Float64("range", 0.0, "range query fraction")
+		insert   = flag.Float64("insert", 0.2, "insert fraction")
+		update   = flag.Float64("update", 0.17, "update fraction")
+		del      = flag.Float64("delete", 0.05, "delete fraction")
+		width    = flag.Int("width", 61, "triangle width in characters")
+		absolute = flag.Bool("absolute", false, "plot absolute amplification instead of cohort-relative position")
+	)
+	flag.Parse()
+
+	opt := methods.Options{PoolPages: 8}
+	specs := methods.Catalog(opt)
+	if *list != "" {
+		var chosen []methods.Spec
+		for _, name := range strings.Split(*list, ",") {
+			s, err := methods.Lookup(opt, strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			chosen = append(chosen, s)
+		}
+		specs = chosen
+	}
+
+	mix := workload.Mix{Get: *get, Range: *rng, Insert: *insert, Update: *update, Delete: *del}
+	var pts []bench.NamedPoint
+	var raw []rum.Point
+	for _, spec := range specs {
+		gen := workload.New(workload.Config{Seed: 1, Mix: mix, InitialLen: *n, RangeLen: 1 << 30})
+		prof, err := core.RunProfile(spec.New(), gen, *ops)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		pts = append(pts, bench.NamedPoint{Label: spec.Name, Point: prof.Point})
+		raw = append(raw, prof.Point)
+	}
+	if !*absolute {
+		ws := rum.RelativeWeights(raw)
+		for i := range pts {
+			w := ws[i]
+			pts[i].W = &w
+		}
+	}
+	fmt.Printf("RUM triangle: N=%d, ops=%d, mix get=%.2f range=%.2f insert=%.2f update=%.2f delete=%.2f\n\n",
+		*n, *ops, *get, *rng, *insert, *update, *del)
+	fmt.Println(bench.RenderTriangle(pts, *width))
+}

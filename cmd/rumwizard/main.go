@@ -1,0 +1,84 @@
+// Command rumwizard is the Section-5 "access method wizard": describe a
+// workload and the hardware's RUM priorities, get a ranked list of access
+// methods with suggested tuning — and optionally a measured validation of
+// the top picks.
+//
+// Usage:
+//
+//	rumwizard -get 0.7 -insert 0.2 -update 0.1 -size 1000000
+//	rumwizard -get 0.2 -insert 0.7 -flash         # endurance-limited device
+//	rumwizard -range 0.6 -get 0.3 -memtight -verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/methods"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		get      = flag.Float64("get", 0.5, "point query fraction")
+		rng      = flag.Float64("range", 0.0, "range query fraction")
+		insert   = flag.Float64("insert", 0.25, "insert fraction")
+		update   = flag.Float64("update", 0.2, "update fraction")
+		del      = flag.Float64("delete", 0.05, "delete fraction")
+		size     = flag.Int("size", 1<<16, "expected record count")
+		read     = flag.Float64("wr", 1, "priority weight on read cost")
+		write    = flag.Float64("wu", 1, "priority weight on write cost")
+		space    = flag.Float64("wm", 1, "priority weight on space")
+		flash    = flag.Bool("flash", false, "endurance-limited storage: bias against write amplification")
+		memtight = flag.Bool("memtight", false, "scarce memory: bias against space amplification")
+		verify   = flag.Bool("verify", false, "profile the top 3 picks on the described workload")
+		ops      = flag.Int("ops", 8000, "operations for -verify")
+	)
+	flag.Parse()
+
+	req := core.Requirements{
+		Mix:         workload.Mix{Get: *get, Range: *rng, Insert: *insert, Update: *update, Delete: *del},
+		DataSize:    *size,
+		Priorities:  core.Priorities{Read: *read, Write: *write, Space: *space},
+		FlashLike:   *flash,
+		MemoryTight: *memtight,
+	}
+	recs := core.Recommend(req)
+	fmt.Println("Access-method wizard (predicted ranking, lower score = better):")
+	fmt.Print(core.Explain(recs))
+
+	if !*verify {
+		return
+	}
+	fmt.Println("\nMeasured validation of the top picks:")
+	opt := methods.Options{}
+	catalogName := map[string]string{
+		"btree": "btree", "hash": "hash", "lsm": "lsm-level", "zonemap": "zonemap",
+		"sorted-column": "sorted-column", "unsorted-column": "unsorted-column", "cracking": "cracking",
+	}
+	shown := 0
+	for _, r := range recs {
+		if shown == 3 {
+			break
+		}
+		name, ok := catalogName[r.Method]
+		if !ok {
+			continue
+		}
+		spec, err := methods.Lookup(opt, name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			continue
+		}
+		gen := workload.New(workload.Config{Seed: 1, Mix: req.Mix, InitialLen: *size, RangeLen: 1 << 30})
+		prof, err := core.RunProfile(spec.New(), gen, *ops)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			continue
+		}
+		fmt.Printf("  %-16s measured %s\n", name, prof.Point)
+		shown++
+	}
+}

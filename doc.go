@@ -1,0 +1,13 @@
+// Package repro reproduces "Designing Access Methods: The RUM Conjecture"
+// (Athanassoulis et al., EDBT 2016) as a library of instrumented access
+// methods over a simulated storage substrate, plus the experiment harness
+// that regenerates every artifact of the paper — the Section-2
+// propositions, Table 1, Figures 1–3, the Section-3 conjecture grid, and
+// the Section-4/5 adaptivity results — from measurements.
+//
+// See README.md for the tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The benchmarks in bench_test.go regenerate each table and figure:
+//
+//	go test -bench=. -benchmem
+package repro

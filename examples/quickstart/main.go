@@ -1,0 +1,85 @@
+// Quickstart: build an access method, run a workload against it, and read
+// its RUM profile — the three overheads of the RUM Conjecture measured on
+// your own workload.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/methods"
+	"repro/internal/rum"
+	"repro/internal/workload"
+)
+
+func main() {
+	// 1. Pick a structure from the catalog. Page-based structures run on a
+	//    simulated device; Options sets the page size, buffer pool (the MEM
+	//    of the paper's cost model), and medium.
+	opt := methods.Options{PageSize: 4096, PoolPages: 16}
+	spec, err := methods.Lookup(opt, "btree")
+	if err != nil {
+		log.Fatal(err)
+	}
+	store := spec.New()
+
+	// 2. Use it like any key-value store.
+	if err := store.Insert(42, 4200); err != nil {
+		log.Fatal(err)
+	}
+	if v, ok := store.Get(42); ok {
+		fmt.Printf("Get(42) = %d\n", v)
+	}
+	store.Update(42, 4300)
+	store.RangeScan(0, 100, func(k core.Key, v core.Value) bool {
+		fmt.Printf("scan: %d -> %d\n", k, v)
+		return true
+	})
+	store.Delete(42)
+
+	// 3. Profile it under a workload: 64k records, 20k mixed operations.
+	gen := workload.New(workload.Config{
+		Seed:       1,
+		Mix:        workload.Balanced,
+		InitialLen: 1 << 16,
+		RangeLen:   1 << 30,
+	})
+	fresh := spec.New()
+	prof, err := core.RunProfile(fresh, gen, 20000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nRUM profile of %s under the balanced mix:\n", prof.Name)
+	fmt.Printf("  read amplification  RO = %.2f\n", prof.Point.R)
+	fmt.Printf("  write amplification UO = %.2f\n", prof.Point.U)
+	fmt.Printf("  space amplification MO = %.3f\n", prof.Point.M)
+	fmt.Printf("  ops: %d gets (%d hits), %d ranges (%d rows), %d inserts, %d updates, %d deletes\n",
+		prof.Ops.Gets, prof.Ops.Hits, prof.Ops.Ranges, prof.Ops.RangeRows,
+		prof.Ops.Inserts, prof.Ops.Updates, prof.Ops.Deletes)
+
+	// 4. Compare a few structures in the RUM triangle.
+	var pts []bench.NamedPoint
+	var raw []rum.Point
+	for _, name := range []string{"btree", "hash", "lsm-tier", "zonemap"} {
+		s, err := methods.Lookup(opt, name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g := workload.New(workload.Config{Seed: 1, Mix: workload.Balanced, InitialLen: 1 << 14, RangeLen: 1 << 30})
+		p, err := core.RunProfile(s.New(), g, 8000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pts = append(pts, bench.NamedPoint{Label: name, Point: p.Point})
+		raw = append(raw, p.Point)
+	}
+	ws := rum.RelativeWeights(raw)
+	for i := range pts {
+		w := ws[i]
+		pts[i].W = &w
+	}
+	fmt.Println("\nWhere they sit in the RUM triangle (relative to each other):")
+	fmt.Println(bench.RenderTriangle(pts, 45))
+}

@@ -1,0 +1,108 @@
+// Package bench is the experiment harness: one entry point per artifact of
+// the paper — the Section-2 propositions, Table 1, Figures 1–3, the
+// Section-3 conjecture grid, and the Section-4/5 adaptivity runs — each
+// regenerating the artifact from measurements of the implemented structures
+// and rendering it in a paper-like textual form.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/methods"
+)
+
+// Config holds the common experiment parameters.
+type Config struct {
+	// Seed makes every experiment deterministic.
+	Seed int64
+	// N is the dataset size in records where an experiment uses a single
+	// size (default 1 << 16).
+	N int
+	// Ops is the measured operation count per run (default 20000).
+	Ops int
+	// Storage configures the simulated substrate for page-based methods.
+	Storage methods.Options
+}
+
+// Defaults fills zero fields.
+func (c *Config) Defaults() {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.N == 0 {
+		c.N = 1 << 16
+	}
+	if c.Ops == 0 {
+		c.Ops = 20000
+	}
+}
+
+// makeRecords returns n records with unique scattered keys, sorted by key.
+func makeRecords(seed int64, n int) []core.Record {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[uint64]bool, n)
+	recs := make([]core.Record, 0, n)
+	for len(recs) < n {
+		k := rng.Uint64() >> 24 // 40-bit domain
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		recs = append(recs, core.Record{Key: k, Value: rng.Uint64() >> 1})
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Key < recs[j].Key })
+	return recs
+}
+
+// fmtBytes renders a byte count human-readably.
+func fmtBytes(b float64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", b/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", b/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", b/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", b)
+	}
+}
+
+// table renders rows of cells with aligned columns.
+func table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/hierarchy"
+	"repro/internal/storage"
+)
+
+// Fig2Point is one sweep step of the memory-hierarchy experiment: the
+// capacity given to level n−1 and the resulting overheads at levels n−1
+// and n.
+type Fig2Point struct {
+	UpperFrac  float64 // level n−1 capacity as a fraction of the data
+	UpperMO    float64 // MO(n−1): replicated bytes / base bytes
+	LowerReads float64 // RO(n) proxy: level-n page reads per logical read
+	LowerWrite float64 // UO(n) proxy: level-n page writes per logical write
+	UpperHit   float64 // hit ratio at level n−1
+}
+
+// Fig2Result is the measured Figure 2: growing the space overhead at one
+// hierarchy level reduces the read and write overheads of the level below.
+type Fig2Result struct {
+	DataPages int
+	Ops       int
+	Levels    []string
+	Points    []Fig2Point
+	Monotone  bool // LowerReads non-increasing as UpperMO grows
+}
+
+// RunFig2 builds a cache → RAM → disk hierarchy over a page-resident
+// dataset, sweeps the RAM level's capacity from 1% to 75% of the data, and
+// measures the Figure-2 interaction: MO at level n−1 rises while RO and UO
+// at level n fall.
+func RunFig2(cfg Config) Fig2Result {
+	cfg.Defaults()
+	dataPages := cfg.N / 256
+	if dataPages < 256 {
+		dataPages = 256
+	}
+	ops := cfg.Ops
+	res := Fig2Result{
+		DataPages: dataPages,
+		Ops:       ops,
+		Levels:    []string{"cache", "ram", "disk"},
+	}
+	fractions := []float64{0.01, 0.05, 0.10, 0.25, 0.50, 0.75}
+	for _, frac := range fractions {
+		ramPages := int(frac * float64(dataPages))
+		if ramPages < 1 {
+			ramPages = 1
+		}
+		h, err := hierarchy.New(4096, []hierarchy.Level{
+			{Name: "cache", Capacity: dataPages / 100, Medium: storage.RAM},
+			{Name: "ram", Capacity: ramPages, Medium: storage.RAM},
+			{Name: "disk", Medium: storage.HDD},
+		})
+		if err != nil {
+			panic(err)
+		}
+		h.Populate(dataPages)
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		// Zipf-skewed page accesses: a realistic working set.
+		zipf := rand.NewZipf(rng, 1.2, 1, uint64(dataPages-1))
+		reads, writes := 0, 0
+		for i := 0; i < ops; i++ {
+			p := zipf.Uint64()
+			if rng.Float64() < 0.25 {
+				h.Write(p)
+				writes++
+			} else {
+				h.Read(p)
+				reads++
+			}
+		}
+		h.FlushAll()
+		ram := h.Levels()[1]
+		disk := h.Levels()[2]
+		pt := Fig2Point{
+			UpperFrac: frac,
+			UpperMO:   h.SpaceAmplification(1),
+			UpperHit:  float64(ram.Hits()) / float64(ram.Hits()+ram.Misses()),
+			LowerReads: float64(disk.Meter().PhysicalRead()) / 4096 /
+				float64(reads),
+			LowerWrite: float64(disk.Meter().PhysicalWritten()) / 4096 /
+				float64(writes),
+		}
+		res.Points = append(res.Points, pt)
+	}
+	res.Monotone = true
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].LowerReads > res.Points[i-1].LowerReads+1e-9 {
+			res.Monotone = false
+		}
+		if res.Points[i].UpperMO < res.Points[i-1].UpperMO {
+			res.Monotone = false
+		}
+	}
+	return res
+}
+
+// Render prints the sweep.
+func (r Fig2Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2 (measured): RUM overheads across a %s hierarchy (%d data pages, %d ops, zipf accesses)\n",
+		strings.Join(r.Levels, " → "), r.DataPages, r.Ops)
+	b.WriteString("Growing MO at level n-1 (ram) lowers RO and UO at level n (disk):\n\n")
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f%%", p.UpperFrac*100),
+			fmt.Sprintf("%.3f", p.UpperMO),
+			fmt.Sprintf("%.1f%%", p.UpperHit*100),
+			fmt.Sprintf("%.4f", p.LowerReads),
+			fmt.Sprintf("%.4f", p.LowerWrite),
+		})
+	}
+	b.WriteString(table([]string{"ram capacity", "MO(ram)", "hit(ram)", "disk reads/op", "disk writes/op"}, rows))
+	if r.Monotone {
+		b.WriteString("\nMonotone: MO(n-1) up ⇒ RO(n) down, as Figure 2 predicts.\n")
+	} else {
+		b.WriteString("\nWARNING: monotonicity violated.\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/extreme"
+	"repro/internal/rum"
+)
+
+// PropResult is the measured RUM position of one Section-2 extreme
+// structure, against the proposition it must satisfy.
+type PropResult struct {
+	Prop      int
+	Structure string
+	Claim     string
+	Point     rum.Point
+	Holds     bool
+	Detail    string
+}
+
+// PropsResult aggregates the three propositions.
+type PropsResult struct {
+	N       int
+	Results []PropResult
+}
+
+// RunProps drives each Section-2 extreme structure with the paper's
+// workload — inserts, membership queries, value changes, deletes over a set
+// of integers — and checks Props 1–3 empirically:
+//
+//	Prop 1: min(RO) = 1.0 ⇒ UO = 2.0 (changes) and MO unbounded
+//	Prop 2: min(UO) = 1.0 ⇒ RO and MO grow with appended updates
+//	Prop 3: min(MO) = 1.0 ⇒ RO = Θ(N) scans and UO = 1.0
+func RunProps(cfg Config) PropsResult {
+	cfg.Defaults()
+	n := cfg.N
+	if n > 1<<16 {
+		n = 1 << 16 // dense-array scans are quadratic in the driver loop
+	}
+	res := PropsResult{N: n}
+
+	domain := uint64(n) * 1024 // sparse domain: values 1024x wider than N
+
+	// --- Prop 1: direct-address array ---
+	{
+		d := extreme.NewDirectArray(domain)
+		vals := distinctValues(cfg.Seed, n, domain)
+		for _, v := range vals {
+			d.Insert(v)
+		}
+		// Measured phase: membership + changes.
+		start := d.Meter().Snapshot()
+		rng := rand.New(rand.NewSource(cfg.Seed + 1))
+		for i := 0; i < n; i++ {
+			d.Has(vals[rng.Intn(len(vals))])
+		}
+		for i := 0; i < n/2; i++ {
+			old := vals[i]
+			nv := (old + 1 + uint64(rng.Intn(1000))) % domain
+			if d.Change(old, nv) {
+				vals[i] = nv
+			}
+		}
+		m := d.Meter().Diff(start)
+		p := rum.PointOf(m, d.Size())
+		holds := p.R == 1.0 && p.U > 1.9 && p.U <= 2.0+1e-9 && p.M > 100
+		res.Results = append(res.Results, PropResult{
+			Prop: 1, Structure: d.Name(),
+			Claim: "min(RO)=1.0 ⇒ UO=2.0, MO unbounded",
+			Point: p, Holds: holds,
+			Detail: fmt.Sprintf("RO=%.3f (claim 1.0), UO=%.3f (claim 2.0 for changes), MO=%.0f (domain/N=%d)", p.R, p.U, p.M, domain/uint64(n)),
+		})
+	}
+
+	// --- Prop 2: append-only log ---
+	{
+		l := extreme.NewAppendLog()
+		vals := distinctValues(cfg.Seed, n, domain)
+		for _, v := range vals {
+			l.Insert(v)
+		}
+		// RO measured early vs late: it must grow as updates accumulate.
+		early := measureLogRO(l, vals, cfg.Seed+2)
+		// Churn: changes keep appending without reclaiming.
+		rng := rand.New(rand.NewSource(cfg.Seed + 3))
+		startU := l.Meter().Snapshot()
+		for i := 0; i < 2*n; i++ {
+			j := rng.Intn(len(vals))
+			old := vals[j]
+			nv := (old + 1 + uint64(rng.Intn(1000))) % domain
+			if l.Change(old, nv) {
+				vals[j] = nv
+			}
+		}
+		uo := l.Meter().Diff(startU).WriteAmplification()
+		late := measureLogRO(l, vals, cfg.Seed+4)
+		p := rum.Point{R: late, U: uo, M: l.Size().SpaceAmplification()}
+		holds := uo <= 1.0+1e-9 && late > early && p.M > 1.5
+		res.Results = append(res.Results, PropResult{
+			Prop: 2, Structure: l.Name(),
+			Claim: "min(UO)=1.0 ⇒ RO and MO grow without bound",
+			Point: p, Holds: holds,
+			Detail: fmt.Sprintf("UO=%.3f (claim 1.0), RO grew %.1f → %.1f after churn, MO=%.2f and rising", uo, early, late, p.M),
+		})
+	}
+
+	// --- Prop 3: dense in-place array ---
+	{
+		a := extreme.NewDenseArray()
+		vals := distinctValues(cfg.Seed, n, domain)
+		for _, v := range vals {
+			a.Insert(v)
+		}
+		start := a.Meter().Snapshot()
+		rng := rand.New(rand.NewSource(cfg.Seed + 5))
+		queries := 200
+		for i := 0; i < queries; i++ {
+			a.Has(vals[rng.Intn(len(vals))])
+		}
+		ro := a.Meter().Diff(start).ReadAmplification()
+		startU := a.Meter().Snapshot()
+		for i := 0; i < 200; i++ {
+			j := rng.Intn(len(vals))
+			old := vals[j]
+			nv := (old + 1 + uint64(rng.Intn(1000))) % domain
+			if a.Change(old, nv) {
+				vals[j] = nv
+			}
+		}
+		uo := a.Meter().Diff(startU).WriteAmplification()
+		p := rum.Point{R: ro, U: uo, M: a.Size().SpaceAmplification()}
+		// Expected scan length ≈ N/2 slots per probe.
+		holds := p.M == 1.0 && uo <= 1.0+1e-9 && ro > float64(n)/8
+		res.Results = append(res.Results, PropResult{
+			Prop: 3, Structure: a.Name(),
+			Claim: "min(MO)=1.0 ⇒ RO=Θ(N), UO=1.0",
+			Point: p, Holds: holds,
+			Detail: fmt.Sprintf("MO=%.3f (claim 1.0), UO=%.3f (claim 1.0), RO=%.0f ≈ N/2=%d", p.M, uo, ro, n/2),
+		})
+	}
+	return res
+}
+
+// measureLogRO probes the log with existing values and returns the read
+// amplification of the probe batch.
+func measureLogRO(l *extreme.AppendLog, vals []uint64, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	start := l.Meter().Snapshot()
+	for i := 0; i < 200; i++ {
+		l.Has(vals[rng.Intn(len(vals))])
+	}
+	return l.Meter().Diff(start).ReadAmplification()
+}
+
+// distinctValues draws n distinct values below domain.
+func distinctValues(seed int64, n int, domain uint64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[uint64]bool, n)
+	out := make([]uint64, 0, n)
+	for len(out) < n {
+		v := rng.Uint64() % domain
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Render prints the proposition table.
+func (r PropsResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section 2 propositions (N=%d)\n\n", r.N)
+	rows := make([][]string, 0, len(r.Results))
+	for _, p := range r.Results {
+		ok := "HOLDS"
+		if !p.Holds {
+			ok = "VIOLATED"
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("Prop %d", p.Prop), p.Structure, p.Claim, p.Point.String(), ok,
+		})
+	}
+	b.WriteString(table([]string{"prop", "structure", "claim", "measured", "verdict"}, rows))
+	b.WriteString("\n")
+	for _, p := range r.Results {
+		fmt.Fprintf(&b, "  Prop %d: %s\n", p.Prop, p.Detail)
+	}
+	return b.String()
+}

@@ -1,0 +1,229 @@
+// Package bloom implements Bloom filters (Bloom, CACM 1970), the canonical
+// space-optimized lossy structure at the right corner of Figure 1: a few
+// bits per key buy constant-time membership with a tunable false-positive
+// rate, at zero false negatives.
+//
+// Three variants are provided:
+//
+//   - Filter: the classic bitmap with k double-hashed probes.
+//   - Counting: 4-bit counters, supporting deletes at 4x the space.
+//   - The LSM tree (internal/lsm) attaches a Filter per run — the paper's
+//     "iterative logs enhanced by probabilistic data structures".
+package bloom
+
+import (
+	"math"
+
+	"repro/internal/rum"
+)
+
+const wordBytes = 8
+
+// Filter is a classic Bloom filter over uint64 keys. Not safe for concurrent
+// use.
+type Filter struct {
+	bits  []uint64
+	m     uint64 // number of bits
+	k     int    // probes per key
+	n     int    // keys added
+	meter *rum.Meter
+}
+
+// NewFilter sizes a filter for expectedN keys at bitsPerKey bits each
+// (clamped to [1, 64]), choosing the optimal probe count k = bpk·ln2.
+// A nil meter gets a private one.
+func NewFilter(expectedN int, bitsPerKey float64, meter *rum.Meter) *Filter {
+	if meter == nil {
+		meter = &rum.Meter{}
+	}
+	if bitsPerKey < 1 {
+		bitsPerKey = 1
+	}
+	if bitsPerKey > 64 {
+		bitsPerKey = 64
+	}
+	if expectedN < 1 {
+		expectedN = 1
+	}
+	m := uint64(math.Ceil(float64(expectedN) * bitsPerKey))
+	if m < 64 {
+		m = 64
+	}
+	k := int(math.Round(bitsPerKey * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 16 {
+		k = 16
+	}
+	return &Filter{
+		bits:  make([]uint64, (m+63)/64),
+		m:     m,
+		k:     k,
+		meter: meter,
+	}
+}
+
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	return x ^ (x >> 33)
+}
+
+// probes returns the double-hashing base and step for key.
+func probes(key uint64) (h1, h2 uint64) {
+	h1 = mix(key)
+	h2 = mix(key ^ 0x9e3779b97f4a7c15)
+	h2 |= 1 // odd step visits all positions
+	return
+}
+
+// Add inserts key, charging one word write per probe.
+func (f *Filter) Add(key uint64) {
+	h, step := probes(key)
+	for i := 0; i < f.k; i++ {
+		pos := h % f.m
+		f.bits[pos/64] |= 1 << (pos % 64)
+		h += step
+	}
+	f.meter.CountWrite(rum.Aux, f.k*wordBytes)
+	f.n++
+}
+
+// MayContain reports whether key may be present: false means definitely
+// absent. One word read is charged per probe (short-circuiting on the first
+// zero bit).
+func (f *Filter) MayContain(key uint64) bool {
+	h, step := probes(key)
+	for i := 0; i < f.k; i++ {
+		pos := h % f.m
+		f.meter.CountRead(rum.Aux, wordBytes)
+		if f.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+		h += step
+	}
+	return true
+}
+
+// K returns the probe count.
+func (f *Filter) K() int { return f.k }
+
+// Bits returns the filter size in bits.
+func (f *Filter) Bits() uint64 { return f.m }
+
+// Count returns the number of keys added.
+func (f *Filter) Count() int { return f.n }
+
+// SizeBytes returns the filter's storage footprint.
+func (f *Filter) SizeBytes() uint64 { return uint64(len(f.bits)) * wordBytes }
+
+// Meter returns the RUM accounting.
+func (f *Filter) Meter() *rum.Meter { return f.meter }
+
+// FalsePositiveRate returns the expected FP rate for the current load:
+// (1 - e^(-kn/m))^k.
+func (f *Filter) FalsePositiveRate() float64 {
+	if f.n == 0 {
+		return 0
+	}
+	return math.Pow(1-math.Exp(-float64(f.k)*float64(f.n)/float64(f.m)), float64(f.k))
+}
+
+// Counting is a counting Bloom filter with 4-bit counters, supporting
+// Remove. Counters saturate at 15 and saturated counters are never
+// decremented, preserving the no-false-negative guarantee.
+type Counting struct {
+	counters []uint8 // two 4-bit counters per byte
+	m        uint64
+	k        int
+	n        int
+	meter    *rum.Meter
+}
+
+// NewCounting sizes a counting filter like NewFilter; it occupies 4x the
+// bits of the equivalent Filter.
+func NewCounting(expectedN int, bitsPerKey float64, meter *rum.Meter) *Counting {
+	f := NewFilter(expectedN, bitsPerKey, meter)
+	return &Counting{
+		counters: make([]uint8, (f.m+1)/2),
+		m:        f.m,
+		k:        f.k,
+		meter:    f.meter,
+	}
+}
+
+func (c *Counting) get(pos uint64) uint8 {
+	b := c.counters[pos/2]
+	if pos%2 == 0 {
+		return b & 0x0f
+	}
+	return b >> 4
+}
+
+func (c *Counting) set(pos uint64, v uint8) {
+	b := c.counters[pos/2]
+	if pos%2 == 0 {
+		b = (b & 0xf0) | (v & 0x0f)
+	} else {
+		b = (b & 0x0f) | (v << 4)
+	}
+	c.counters[pos/2] = b
+}
+
+// Add inserts key, incrementing k counters.
+func (c *Counting) Add(key uint64) {
+	h, step := probes(key)
+	for i := 0; i < c.k; i++ {
+		pos := h % c.m
+		if v := c.get(pos); v < 15 {
+			c.set(pos, v+1)
+		}
+		h += step
+	}
+	c.meter.CountWrite(rum.Aux, c.k)
+	c.n++
+}
+
+// Remove deletes one occurrence of key. Removing a key that was never added
+// can introduce false negatives, as with any counting filter; callers must
+// only remove keys they added.
+func (c *Counting) Remove(key uint64) {
+	h, step := probes(key)
+	for i := 0; i < c.k; i++ {
+		pos := h % c.m
+		if v := c.get(pos); v > 0 && v < 15 {
+			c.set(pos, v-1)
+		}
+		h += step
+	}
+	c.meter.CountWrite(rum.Aux, c.k)
+	if c.n > 0 {
+		c.n--
+	}
+}
+
+// MayContain reports whether key may be present.
+func (c *Counting) MayContain(key uint64) bool {
+	h, step := probes(key)
+	for i := 0; i < c.k; i++ {
+		pos := h % c.m
+		c.meter.CountRead(rum.Aux, 1)
+		if c.get(pos) == 0 {
+			return false
+		}
+		h += step
+	}
+	return true
+}
+
+// Count returns the number of live keys.
+func (c *Counting) Count() int { return c.n }
+
+// SizeBytes returns the filter's storage footprint.
+func (c *Counting) SizeBytes() uint64 { return uint64(len(c.counters)) }
+
+// Meter returns the RUM accounting.
+func (c *Counting) Meter() *rum.Meter { return c.meter }

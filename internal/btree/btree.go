@@ -1,0 +1,609 @@
+// Package btree implements a disk-style B+-tree over the simulated pager,
+// the canonical read-optimized access method of Table 1 and the top corner
+// of the RUM triangle of Figure 1: logarithmic point and range queries at
+// the price of index space (internal nodes, page slack) and per-update page
+// writes.
+//
+// The tree is tunable (Section 5's "B+-trees that have dynamically tuned
+// parameters"): effective node capacity and bulk-load fill factor can be
+// reduced below the physical page capacity, trading space amplification
+// against tree height and split frequency.
+package btree
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/extsort"
+	"repro/internal/rum"
+	"repro/internal/storage"
+)
+
+// Config tunes the tree.
+type Config struct {
+	// MaxLeaf caps entries per leaf; 0 means the full page capacity.
+	MaxLeaf int
+	// MaxInternal caps entries per internal node; 0 means page capacity.
+	MaxInternal int
+	// BulkFill is the leaf fill fraction used by BulkLoad (0 means 1.0:
+	// pack pages full; lower values leave split slack, trading space for
+	// fewer early splits).
+	BulkFill float64
+}
+
+// Stats counts structural events.
+type Stats struct {
+	LeafSplits     uint64
+	InternalSplits uint64
+	LeafPages      uint64
+	InternalPages  uint64
+}
+
+// Tree is a B+-tree. Leaves store full records (a clustered primary
+// organization): leaf pages are allocated as base data, internal pages as
+// auxiliary data. Not safe for concurrent use.
+type Tree struct {
+	pool   *storage.BufferPool
+	cfg    Config
+	root   storage.PageID
+	height int
+	count  int
+	stats  Stats
+
+	leafCap int // effective leaf capacity
+	intCap  int // effective internal capacity
+}
+
+// New creates an empty tree on pool. The pool's device meter receives all
+// physical traffic.
+func New(pool *storage.BufferPool, cfg Config) (*Tree, error) {
+	t := &Tree{pool: pool, cfg: cfg}
+	if err := t.applyConfig(); err != nil {
+		return nil, err
+	}
+	f, err := pool.NewPage(rum.Base)
+	if err != nil {
+		return nil, err
+	}
+	node{f.Data()}.setKind(kindLeaf)
+	node{f.Data()}.setLink(storage.InvalidPage)
+	f.MarkDirty()
+	t.root = f.ID()
+	pool.Release(f)
+	t.height = 1
+	t.stats.LeafPages = 1
+	return t, nil
+}
+
+func (t *Tree) applyConfig() error {
+	page := t.pool.Device().PageSize()
+	physLeaf := (page - headerSize) / leafEntrySize
+	physInt := (page - headerSize) / intEntrySize
+	t.leafCap = physLeaf
+	if t.cfg.MaxLeaf > 0 && t.cfg.MaxLeaf < physLeaf {
+		t.leafCap = t.cfg.MaxLeaf
+	}
+	t.intCap = physInt
+	if t.cfg.MaxInternal > 0 && t.cfg.MaxInternal < physInt {
+		t.intCap = t.cfg.MaxInternal
+	}
+	if t.leafCap < 4 || t.intCap < 4 {
+		return fmt.Errorf("btree: page size %d too small for capacities (leaf %d, internal %d)", page, t.leafCap, t.intCap)
+	}
+	if t.cfg.BulkFill < 0 || t.cfg.BulkFill > 1 {
+		return fmt.Errorf("btree: bulk fill %v out of range", t.cfg.BulkFill)
+	}
+	return nil
+}
+
+// Name identifies the tree and its effective fanout.
+func (t *Tree) Name() string { return fmt.Sprintf("btree(B=%d)", t.leafCap) }
+
+// Height returns the number of levels (1 = a single leaf).
+func (t *Tree) Height() int { return t.height }
+
+// Len returns the number of records.
+func (t *Tree) Len() int { return t.count }
+
+// Stats returns structural counters.
+func (t *Tree) Stats() Stats { return t.stats }
+
+// Pool returns the buffer pool the tree runs on (experiments inspect the
+// device beneath it).
+func (t *Tree) Pool() *storage.BufferPool { return t.pool }
+
+// Meter returns the device meter accumulating physical traffic.
+func (t *Tree) Meter() *rum.Meter { return t.pool.Device().Meter() }
+
+// Size reports the records as base bytes and everything else the tree's
+// pages occupy (internal nodes, slack) as auxiliary bytes.
+func (t *Tree) Size() rum.SizeInfo {
+	pageBytes := (t.stats.LeafPages + t.stats.InternalPages) * uint64(t.pool.Device().PageSize())
+	base := uint64(t.count) * core.RecordSize
+	if base > pageBytes {
+		base = pageBytes
+	}
+	return rum.SizeInfo{BaseBytes: base, AuxBytes: pageBytes - base}
+}
+
+// Flush writes all buffered dirty pages to the device.
+func (t *Tree) Flush() { t.pool.FlushAll() }
+
+// descendToLeaf walks from the root to the leaf covering k.
+func (t *Tree) descendToLeaf(k core.Key) (*storage.Frame, error) {
+	pid := t.root
+	for {
+		f, err := t.pool.Fetch(pid)
+		if err != nil {
+			return nil, err
+		}
+		n := node{f.Data()}
+		if n.isLeaf() {
+			return f, nil
+		}
+		pid = n.route(k)
+		t.pool.Release(f)
+	}
+}
+
+// Get returns the value stored under k.
+func (t *Tree) Get(k core.Key) (core.Value, bool) {
+	f, err := t.descendToLeaf(k)
+	if err != nil {
+		return 0, false
+	}
+	defer t.pool.Release(f)
+	n := node{f.Data()}
+	i := n.leafSearch(k)
+	if i < n.count() && n.leafKey(i) == k {
+		return n.leafValue(i), true
+	}
+	return 0, false
+}
+
+// splitResult carries a completed child split up the recursion.
+type splitResult struct {
+	sep   core.Key
+	right storage.PageID
+	split bool
+}
+
+// Insert adds a record, splitting nodes as needed.
+func (t *Tree) Insert(k core.Key, v core.Value) error {
+	res, err := t.insert(t.root, k, v)
+	if err != nil {
+		return err
+	}
+	if res.split {
+		// Grow a new root.
+		f, err := t.pool.NewPage(rum.Aux)
+		if err != nil {
+			return err
+		}
+		n := node{f.Data()}
+		n.setKind(kindInternal)
+		n.setLink(t.root)
+		n.setIntEntry(0, res.sep, res.right)
+		n.setCount(1)
+		f.MarkDirty()
+		t.root = f.ID()
+		t.pool.Release(f)
+		t.height++
+		t.stats.InternalPages++
+	}
+	t.count++
+	return nil
+}
+
+func (t *Tree) insert(pid storage.PageID, k core.Key, v core.Value) (splitResult, error) {
+	f, err := t.pool.Fetch(pid)
+	if err != nil {
+		return splitResult{}, err
+	}
+	n := node{f.Data()}
+
+	if n.isLeaf() {
+		i := n.leafSearch(k)
+		if i < n.count() && n.leafKey(i) == k {
+			t.pool.Release(f)
+			return splitResult{}, core.ErrKeyExists
+		}
+		if n.count() < t.leafCap {
+			n.leafInsertAt(i, k, v)
+			f.MarkDirty()
+			t.pool.Release(f)
+			return splitResult{}, nil
+		}
+		res, err := t.splitLeaf(f, i, k, v)
+		t.pool.Release(f)
+		return res, err
+	}
+
+	child := n.route(k)
+	t.pool.Release(f)
+
+	res, err := t.insert(child, k, v)
+	if err != nil || !res.split {
+		return splitResult{}, err
+	}
+
+	// Re-fetch the parent to register the new separator.
+	f, err = t.pool.Fetch(pid)
+	if err != nil {
+		return splitResult{}, err
+	}
+	n = node{f.Data()}
+	i := n.intSearch(res.sep)
+	if n.count() < t.intCap {
+		n.intInsertAt(i, res.sep, res.right)
+		f.MarkDirty()
+		t.pool.Release(f)
+		return splitResult{}, nil
+	}
+	up, err := t.splitInternal(f, i, res.sep, res.right)
+	t.pool.Release(f)
+	return up, err
+}
+
+// splitLeaf splits the full leaf in f, inserting (k, v) at logical position i
+// of the pre-split entry sequence, and returns the separator for the parent.
+func (t *Tree) splitLeaf(f *storage.Frame, i int, k core.Key, v core.Value) (splitResult, error) {
+	left := node{f.Data()}
+	c := left.count()
+	mid := (c + 1) / 2
+
+	rf, err := t.pool.NewPage(rum.Base)
+	if err != nil {
+		return splitResult{}, err
+	}
+	right := node{rf.Data()}
+	right.setKind(kindLeaf)
+	right.setLink(left.link())
+	left.setLink(rf.ID())
+
+	// Move the upper half to the right leaf.
+	moved := c - mid
+	copy(right.data[leafOff(0):leafOff(moved)], left.data[leafOff(mid):leafOff(c)])
+	right.setCount(moved)
+	left.setCount(mid)
+
+	if i <= mid && (i < mid || k < right.leafKey(0)) {
+		left.leafInsertAt(i, k, v)
+	} else {
+		right.leafInsertAt(right.leafSearch(k), k, v)
+	}
+
+	f.MarkDirty()
+	rf.MarkDirty()
+	sep := right.leafKey(0)
+	t.pool.Release(rf)
+	t.stats.LeafSplits++
+	t.stats.LeafPages++
+	return splitResult{sep: sep, right: rf.ID(), split: true}, nil
+}
+
+// splitInternal splits the full internal node in f while inserting
+// (sep, child) at entry position i, promoting the middle separator.
+func (t *Tree) splitInternal(f *storage.Frame, i int, sep core.Key, child storage.PageID) (splitResult, error) {
+	left := node{f.Data()}
+	c := left.count()
+
+	// Materialize the post-insert entry sequence.
+	type entry struct {
+		k core.Key
+		c storage.PageID
+	}
+	entries := make([]entry, 0, c+1)
+	for j := 0; j < c; j++ {
+		if j == i {
+			entries = append(entries, entry{sep, child})
+		}
+		entries = append(entries, entry{left.intKey(j), left.intChild(j)})
+	}
+	if i == c {
+		entries = append(entries, entry{sep, child})
+	}
+
+	mid := len(entries) / 2
+	promoted := entries[mid]
+
+	rf, err := t.pool.NewPage(rum.Aux)
+	if err != nil {
+		return splitResult{}, err
+	}
+	right := node{rf.Data()}
+	right.setKind(kindInternal)
+	right.setLink(promoted.c)
+	for j, e := range entries[mid+1:] {
+		right.setIntEntry(j, e.k, e.c)
+	}
+	right.setCount(len(entries) - mid - 1)
+
+	for j, e := range entries[:mid] {
+		left.setIntEntry(j, e.k, e.c)
+	}
+	left.setCount(mid)
+
+	f.MarkDirty()
+	rf.MarkDirty()
+	t.pool.Release(rf)
+	t.stats.InternalSplits++
+	t.stats.InternalPages++
+	return splitResult{sep: promoted.k, right: rf.ID(), split: true}, nil
+}
+
+// Update overwrites the value stored under k, reporting whether it existed.
+func (t *Tree) Update(k core.Key, v core.Value) bool {
+	f, err := t.descendToLeaf(k)
+	if err != nil {
+		return false
+	}
+	defer t.pool.Release(f)
+	n := node{f.Data()}
+	i := n.leafSearch(k)
+	if i >= n.count() || n.leafKey(i) != k {
+		return false
+	}
+	n.setLeafEntry(i, k, v)
+	f.MarkDirty()
+	return true
+}
+
+// Delete removes k. Deletion is lazy (no rebalancing): the entry is removed
+// from its leaf and underfull pages are tolerated, the common practice in
+// production B-trees.
+func (t *Tree) Delete(k core.Key) bool {
+	f, err := t.descendToLeaf(k)
+	if err != nil {
+		return false
+	}
+	defer t.pool.Release(f)
+	n := node{f.Data()}
+	i := n.leafSearch(k)
+	if i >= n.count() || n.leafKey(i) != k {
+		return false
+	}
+	n.leafRemoveAt(i)
+	f.MarkDirty()
+	t.count--
+	return true
+}
+
+// RangeScan emits records with lo <= key <= hi in key order, walking the
+// leaf chain: the Table-1 O(log_B N + m/B) range cost.
+func (t *Tree) RangeScan(lo, hi core.Key, emit func(core.Key, core.Value) bool) int {
+	f, err := t.descendToLeaf(lo)
+	if err != nil {
+		return 0
+	}
+	emitted := 0
+	for {
+		n := node{f.Data()}
+		i := n.leafSearch(lo)
+		for ; i < n.count(); i++ {
+			k := n.leafKey(i)
+			if k > hi {
+				t.pool.Release(f)
+				return emitted
+			}
+			emitted++
+			if !emit(k, n.leafValue(i)) {
+				t.pool.Release(f)
+				return emitted
+			}
+		}
+		next := n.link()
+		t.pool.Release(f)
+		if next == storage.InvalidPage {
+			return emitted
+		}
+		f, err = t.pool.Fetch(next)
+		if err != nil {
+			return emitted
+		}
+	}
+}
+
+// BulkLoad replaces the tree's contents with the key-sorted records,
+// building leaves left to right at the configured fill factor and stacking
+// internal levels above them.
+func (t *Tree) BulkLoad(recs []core.Record) error {
+	if err := t.freeAll(t.root); err != nil {
+		return err
+	}
+	t.stats.LeafPages = 0
+	t.stats.InternalPages = 0
+	t.count = 0
+
+	fill := t.cfg.BulkFill
+	if fill == 0 {
+		fill = 1.0
+	}
+	perLeaf := int(fill * float64(t.leafCap))
+	if perLeaf < 1 {
+		perLeaf = 1
+	}
+	perInt := int(fill * float64(t.intCap))
+	if perInt < 2 {
+		perInt = 2
+	}
+
+	type levelEntry struct {
+		first core.Key
+		pid   storage.PageID
+	}
+
+	// Build the leaf level.
+	var level []levelEntry
+	var prevLeaf *storage.Frame
+	for start := 0; start == 0 || start < len(recs); start += perLeaf {
+		end := start + perLeaf
+		if end > len(recs) {
+			end = len(recs)
+		}
+		f, err := t.pool.NewPage(rum.Base)
+		if err != nil {
+			return err
+		}
+		n := node{f.Data()}
+		n.setKind(kindLeaf)
+		n.setLink(storage.InvalidPage)
+		for j, r := range recs[start:end] {
+			n.setLeafEntry(j, r.Key, r.Value)
+		}
+		n.setCount(end - start)
+		f.MarkDirty()
+		if prevLeaf != nil {
+			node{prevLeaf.Data()}.setLink(f.ID())
+			prevLeaf.MarkDirty()
+			t.pool.Release(prevLeaf)
+		}
+		prevLeaf = f
+		first := core.Key(0)
+		if end > start {
+			first = recs[start].Key
+		}
+		level = append(level, levelEntry{first: first, pid: f.ID()})
+		t.stats.LeafPages++
+		if len(recs) == 0 {
+			break
+		}
+	}
+	if prevLeaf != nil {
+		t.pool.Release(prevLeaf)
+	}
+	t.height = 1
+
+	// Stack internal levels until one node remains.
+	for len(level) > 1 {
+		var next []levelEntry
+		for start := 0; start < len(level); start += perInt + 1 {
+			end := start + perInt + 1
+			if end > len(level) {
+				end = len(level)
+			}
+			// A group of one would form a childless separator; merge it into
+			// the previous node when that node has physical room.
+			if end-start == 1 && len(next) > 0 {
+				f, err := t.pool.Fetch(next[len(next)-1].pid)
+				if err != nil {
+					return err
+				}
+				n := node{f.Data()}
+				physInt := (t.pool.Device().PageSize() - headerSize) / intEntrySize
+				if n.count() < physInt {
+					n.intInsertAt(n.count(), level[start].first, level[start].pid)
+					f.MarkDirty()
+					t.pool.Release(f)
+					continue
+				}
+				t.pool.Release(f)
+				// Fall through: build a node with only a leftmost child,
+				// which routes every key of the group correctly.
+			}
+			f, err := t.pool.NewPage(rum.Aux)
+			if err != nil {
+				return err
+			}
+			n := node{f.Data()}
+			n.setKind(kindInternal)
+			n.setLink(level[start].pid)
+			for j, e := range level[start+1 : end] {
+				n.setIntEntry(j, e.first, e.pid)
+			}
+			n.setCount(end - start - 1)
+			f.MarkDirty()
+			t.pool.Release(f)
+			next = append(next, levelEntry{first: level[start].first, pid: f.ID()})
+			t.stats.InternalPages++
+		}
+		level = next
+		t.height++
+	}
+	t.root = level[0].pid
+	t.count = len(recs)
+	return nil
+}
+
+// BulkLoadUnsorted external-sorts recs (charging the simulated sort I/O of
+// Table 1's bulk-creation row) and then bulk-loads them.
+func (t *Tree) BulkLoadUnsorted(recs []core.Record) (extsort.Stats, error) {
+	st := extsort.Sort(recs, t.pool.Capacity(), t.pool.Device().PageSize(), t.Meter())
+	return st, t.BulkLoad(recs)
+}
+
+// Drop releases every page of the tree back to its pool, leaving the tree
+// unusable. Composite structures (e.g. the partitioned B-tree) call it when
+// retiring a partition.
+func (t *Tree) Drop() error {
+	if err := t.freeAll(t.root); err != nil {
+		return err
+	}
+	t.root = storage.InvalidPage
+	t.count = 0
+	t.stats.LeafPages = 0
+	t.stats.InternalPages = 0
+	return nil
+}
+
+// freeAll releases every page of the subtree rooted at pid.
+func (t *Tree) freeAll(pid storage.PageID) error {
+	f, err := t.pool.Fetch(pid)
+	if err != nil {
+		return err
+	}
+	n := node{f.Data()}
+	if !n.isLeaf() {
+		children := make([]storage.PageID, 0, n.count()+1)
+		children = append(children, n.link())
+		for i := 0; i < n.count(); i++ {
+			children = append(children, n.intChild(i))
+		}
+		t.pool.Release(f)
+		for _, c := range children {
+			if err := t.freeAll(c); err != nil {
+				return err
+			}
+		}
+		return t.pool.FreePage(pid)
+	}
+	t.pool.Release(f)
+	return t.pool.FreePage(pid)
+}
+
+// Knobs exposes the tunable parameters (core.Tunable).
+func (t *Tree) Knobs() []core.Knob {
+	page := t.pool.Device().PageSize()
+	physLeaf := float64((page - headerSize) / leafEntrySize)
+	return []core.Knob{
+		{
+			Name: "max_leaf", Min: 4, Max: physLeaf, Current: float64(t.leafCap),
+			Doc: "entries per leaf; smaller = taller tree (higher RO), less shifting per split (lower UO variance), more page slack (higher MO)",
+		},
+		{
+			Name: "bulk_fill", Min: 0.3, Max: 1, Current: t.bulkFill(),
+			Doc: "bulk-load fill factor; lower = more slack (higher MO) but fewer early splits (lower UO)",
+		},
+	}
+}
+
+func (t *Tree) bulkFill() float64 {
+	if t.cfg.BulkFill == 0 {
+		return 1.0
+	}
+	return t.cfg.BulkFill
+}
+
+// SetKnob adjusts a tuning parameter for subsequent operations
+// (core.Tunable). Existing pages are not reorganized.
+func (t *Tree) SetKnob(name string, value float64) error {
+	switch name {
+	case "max_leaf":
+		t.cfg.MaxLeaf = int(value)
+	case "bulk_fill":
+		t.cfg.BulkFill = value
+	default:
+		return fmt.Errorf("btree: unknown knob %q", name)
+	}
+	return t.applyConfig()
+}

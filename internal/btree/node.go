@@ -1,0 +1,150 @@
+package btree
+
+import (
+	"encoding/binary"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// On-page node layout. Every node occupies exactly one device page:
+//
+//	byte 0      kind: 1 = leaf, 2 = internal
+//	byte 1      unused
+//	bytes 2:4   entry count (uint16)
+//	bytes 4:8   leaf: next-leaf PageID; internal: leftmost child PageID
+//	bytes 8:12  reserved
+//	bytes 12:   entries
+//
+// Leaf entries are 16 bytes: key (8) + value (8), sorted by key.
+// Internal entries are 12 bytes: separator key (8) + child PageID (4),
+// sorted by key; the subtree at entry i holds keys in [key_i, key_{i+1}).
+// Keys below key_0 route to the leftmost child.
+const (
+	headerSize    = 12
+	leafEntrySize = core.RecordSize
+	intEntrySize  = 12
+
+	kindLeaf     = 1
+	kindInternal = 2
+)
+
+type node struct{ data []byte }
+
+func (n node) kind() byte     { return n.data[0] }
+func (n node) setKind(k byte) { n.data[0] = k }
+func (n node) count() int     { return int(binary.LittleEndian.Uint16(n.data[2:4])) }
+func (n node) setCount(c int) { binary.LittleEndian.PutUint16(n.data[2:4], uint16(c)) }
+func (n node) isLeaf() bool   { return n.kind() == kindLeaf }
+func (n node) link() storage.PageID {
+	return storage.PageID(binary.LittleEndian.Uint32(n.data[4:8]))
+}
+func (n node) setLink(id storage.PageID) {
+	binary.LittleEndian.PutUint32(n.data[4:8], uint32(id))
+}
+
+// --- leaf accessors ---
+
+func leafOff(i int) int { return headerSize + i*leafEntrySize }
+
+func (n node) leafKey(i int) core.Key {
+	return binary.LittleEndian.Uint64(n.data[leafOff(i):])
+}
+
+func (n node) leafValue(i int) core.Value {
+	return binary.LittleEndian.Uint64(n.data[leafOff(i)+8:])
+}
+
+func (n node) setLeafEntry(i int, k core.Key, v core.Value) {
+	off := leafOff(i)
+	binary.LittleEndian.PutUint64(n.data[off:], k)
+	binary.LittleEndian.PutUint64(n.data[off+8:], v)
+}
+
+// leafSearch returns the position of the first entry with key >= k.
+func (n node) leafSearch(k core.Key) int {
+	lo, hi := 0, n.count()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.leafKey(mid) < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// leafInsertAt shifts entries right and writes (k, v) at position i.
+func (n node) leafInsertAt(i int, k core.Key, v core.Value) {
+	c := n.count()
+	copy(n.data[leafOff(i+1):leafOff(c+1)], n.data[leafOff(i):leafOff(c)])
+	n.setLeafEntry(i, k, v)
+	n.setCount(c + 1)
+}
+
+// leafRemoveAt shifts entries left over position i.
+func (n node) leafRemoveAt(i int) {
+	c := n.count()
+	copy(n.data[leafOff(i):leafOff(c-1)], n.data[leafOff(i+1):leafOff(c)])
+	n.setCount(c - 1)
+}
+
+// --- internal accessors ---
+
+func intOff(i int) int { return headerSize + i*intEntrySize }
+
+func (n node) intKey(i int) core.Key {
+	return binary.LittleEndian.Uint64(n.data[intOff(i):])
+}
+
+func (n node) intChild(i int) storage.PageID {
+	return storage.PageID(binary.LittleEndian.Uint32(n.data[intOff(i)+8:]))
+}
+
+func (n node) setIntEntry(i int, k core.Key, child storage.PageID) {
+	off := intOff(i)
+	binary.LittleEndian.PutUint64(n.data[off:], k)
+	binary.LittleEndian.PutUint32(n.data[off+8:], uint32(child))
+}
+
+// route returns the child that covers k: the entry with the largest separator
+// <= k, or the leftmost child when k precedes every separator.
+func (n node) route(k core.Key) storage.PageID {
+	lo, hi := 0, n.count()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.intKey(mid) <= k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return n.link() // leftmost child
+	}
+	return n.intChild(lo - 1)
+}
+
+// intSearch returns the position of the first entry with key > k, i.e. the
+// insertion position for a new separator k.
+func (n node) intSearch(k core.Key) int {
+	lo, hi := 0, n.count()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.intKey(mid) <= k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// intInsertAt shifts entries right and writes (k, child) at position i.
+func (n node) intInsertAt(i int, k core.Key, child storage.PageID) {
+	c := n.count()
+	copy(n.data[intOff(i+1):intOff(c+1)], n.data[intOff(i):intOff(c)])
+	n.setIntEntry(i, k, child)
+	n.setCount(c + 1)
+}

@@ -1,0 +1,270 @@
+// Package cobtree implements a static cache-oblivious search tree in the
+// van Emde Boas layout (Frigo et al., FOCS 1999), the design Section 4 of
+// the paper discusses as the alternative that "completely removes the
+// memory hierarchy from the design space":
+//
+//   - searches touch O(log_B N) cache lines for *every* line size B
+//     simultaneously, without knowing B — measured here by counting
+//     distinct 64-byte lines per search;
+//   - the price is exactly what the paper states: "a larger constant factor
+//     in read performance" and "a larger memory overhead because they
+//     require more pointers" (every node carries explicit child links,
+//     where a sorted array needs none), and the structure is static —
+//     "cache-oblivious designs are less tunable".
+//
+// The tree indexes a sorted record array (the base data); ranges scan the
+// array after one tree search. Inserts and deletes are unsupported — the
+// structure exists for the Section-4 ablation against a cache-aware binary
+// search, not as a full access method.
+package cobtree
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/rum"
+)
+
+// node is one tree node in vEB order: the key, its record's position in the
+// sorted base array, and explicit child indexes (-1 = none).
+type node struct {
+	key         core.Key
+	pos         int32
+	left, right int32
+}
+
+// nodeSize is the accounted footprint of one node: key (8) + array position
+// (4) + two child indexes (8).
+const nodeSize = 20
+
+// Tree is a static cache-oblivious search tree. Not safe for concurrent
+// use.
+type Tree struct {
+	nodes []node
+	recs  []core.Record // sorted base data
+	meter *rum.Meter
+}
+
+// Build constructs the tree over recs, which must be sorted by key and
+// duplicate-free. A nil meter gets a private one.
+func Build(recs []core.Record, meter *rum.Meter) (*Tree, error) {
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Key <= recs[i-1].Key {
+			return nil, fmt.Errorf("cobtree: input not sorted/unique at %d", i)
+		}
+	}
+	if meter == nil {
+		meter = &rum.Meter{}
+	}
+	t := &Tree{recs: recs, meter: meter}
+	if len(recs) == 0 {
+		return t, nil
+	}
+
+	// 1. Build an explicit balanced BST over the sorted positions.
+	type bnode struct {
+		pos         int32
+		left, right *bnode
+	}
+	var build func(lo, hi int) *bnode
+	var height func(lo, hi int) int
+	build = func(lo, hi int) *bnode {
+		if lo >= hi {
+			return nil
+		}
+		mid := (lo + hi) / 2
+		return &bnode{pos: int32(mid), left: build(lo, mid), right: build(mid+1, hi)}
+	}
+	height = func(lo, hi int) int {
+		h := 0
+		for n := hi - lo; n > 0; n /= 2 {
+			h++
+		}
+		return h
+	}
+	root := build(0, len(recs))
+	h := height(0, len(recs))
+
+	// 2. Emit nodes in van Emde Boas order: the top half-height tree first,
+	// then each bottom subtree left to right. layout(r, h) only ever
+	// descends h levels, so applying it to the whole tree with the top
+	// height lays out exactly the top tree.
+	var order []*bnode
+	var atDepth func(r *bnode, d int, out *[]*bnode)
+	atDepth = func(r *bnode, d int, out *[]*bnode) {
+		if r == nil {
+			return
+		}
+		if d == 1 {
+			*out = append(*out, r)
+			return
+		}
+		atDepth(r.left, d-1, out)
+		atDepth(r.right, d-1, out)
+	}
+	var layout func(r *bnode, h int)
+	layout = func(r *bnode, h int) {
+		if r == nil {
+			return
+		}
+		if h == 1 {
+			order = append(order, r)
+			return
+		}
+		topH := h / 2
+		bottomH := h - topH
+		layout(r, topH)
+		var frontier []*bnode
+		atDepth(r, topH, &frontier)
+		for _, f := range frontier {
+			layout(f.left, bottomH)
+			layout(f.right, bottomH)
+		}
+	}
+	layout(root, h)
+
+	// 3. Freeze into the flat array with translated child indexes.
+	index := make(map[*bnode]int32, len(order))
+	for i, b := range order {
+		index[b] = int32(i)
+	}
+	t.nodes = make([]node, len(order))
+	childIdx := func(b *bnode) int32 {
+		if b == nil {
+			return -1
+		}
+		return index[b]
+	}
+	for i, b := range order {
+		t.nodes[i] = node{
+			key:   recs[b.pos].Key,
+			pos:   b.pos,
+			left:  childIdx(b.left),
+			right: childIdx(b.right),
+		}
+	}
+	return t, nil
+}
+
+// Len returns the number of records.
+func (t *Tree) Len() int { return len(t.recs) }
+
+// Meter returns the RUM accounting.
+func (t *Tree) Meter() *rum.Meter { return t.meter }
+
+// Size reports the sorted base array as base bytes and the tree nodes (the
+// "more pointers" of the paper) as auxiliary bytes.
+func (t *Tree) Size() rum.SizeInfo {
+	return rum.SizeInfo{
+		BaseBytes: uint64(len(t.recs)) * core.RecordSize,
+		AuxBytes:  uint64(len(t.nodes)) * nodeSize,
+	}
+}
+
+// lineOf maps a node index to its 64-byte cache line.
+func lineOf(i int32) int64 { return int64(i) * nodeSize / rum.LineSize }
+
+// search descends to the array position of k (or -1), charging one line
+// read per *distinct* cache line touched — the measurement the vEB layout
+// exists to win.
+func (t *Tree) search(k core.Key) (int32, int) {
+	if len(t.nodes) == 0 {
+		return -1, 0
+	}
+	lines := 0
+	lastLine := int64(-1)
+	i := int32(0)
+	pos := int32(-1)
+	for i >= 0 {
+		if l := lineOf(i); l != lastLine {
+			lines++
+			lastLine = l
+		}
+		n := &t.nodes[i]
+		switch {
+		case k == n.key:
+			pos = n.pos
+			i = -1
+		case k < n.key:
+			i = n.left
+		default:
+			i = n.right
+		}
+	}
+	t.meter.CountRead(rum.Aux, lines*rum.LineSize)
+	return pos, lines
+}
+
+// Get returns the value for k. It reports the distinct cache lines touched
+// through the meter.
+func (t *Tree) Get(k core.Key) (core.Value, bool) {
+	pos, _ := t.search(k)
+	if pos < 0 {
+		return 0, false
+	}
+	t.meter.CountRead(rum.Base, rum.LineCost(core.RecordSize))
+	return t.recs[pos].Value, true
+}
+
+// SearchLines returns the distinct cache lines one search for k touches
+// (ablation support).
+func (t *Tree) SearchLines(k core.Key) int {
+	_, lines := t.search(k)
+	return lines
+}
+
+// Update overwrites the record for k in place in the base array (the one
+// mutation a static index allows).
+func (t *Tree) Update(k core.Key, v core.Value) bool {
+	pos, _ := t.search(k)
+	if pos < 0 {
+		return false
+	}
+	t.recs[pos].Value = v
+	t.meter.CountWrite(rum.Base, rum.LineCost(core.RecordSize))
+	return true
+}
+
+// RangeScan finds lo via the tree and streams the base array to hi.
+func (t *Tree) RangeScan(lo, hi core.Key, emit func(core.Key, core.Value) bool) int {
+	// Position of the first key >= lo via the sorted array (the tree finds
+	// exact keys; range starts use one binary search charged at line cost).
+	probes := 0
+	i := sort.Search(len(t.recs), func(i int) bool {
+		probes++
+		return t.recs[i].Key >= lo
+	})
+	t.meter.CountRead(rum.Aux, probes*rum.LineSize)
+	n := 0
+	for ; i < len(t.recs) && t.recs[i].Key <= hi; i++ {
+		t.meter.CountRead(rum.Base, core.RecordSize)
+		n++
+		if !emit(t.recs[i].Key, t.recs[i].Value) {
+			break
+		}
+	}
+	return n
+}
+
+// BinarySearchLines returns the distinct cache lines a plain binary search
+// over the same sorted array touches for k — the cache-aware comparator of
+// the Section-4 ablation.
+func (t *Tree) BinarySearchLines(k core.Key) int {
+	lines := 0
+	lastLine := int64(-1)
+	lo, hi := 0, len(t.recs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if l := int64(mid) * core.RecordSize / rum.LineSize; l != lastLine {
+			lines++
+			lastLine = l
+		}
+		if t.recs[mid].Key < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lines
+}

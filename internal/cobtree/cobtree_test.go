@@ -1,0 +1,190 @@
+package cobtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func sortedRecs(n int) []core.Record {
+	recs := make([]core.Record, n)
+	for i := range recs {
+		recs[i] = core.Record{Key: uint64(i * 3), Value: uint64(i)}
+	}
+	return recs
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build([]core.Record{{Key: 2}, {Key: 1}}, nil); err == nil {
+		t.Fatal("unsorted input accepted")
+	}
+	if _, err := Build([]core.Record{{Key: 1}, {Key: 1}}, nil); err == nil {
+		t.Fatal("duplicate input accepted")
+	}
+	tr, err := Build(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tr.Get(5); ok {
+		t.Fatal("empty tree found a key")
+	}
+}
+
+func TestGetFindsEverything(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 100, 4097} {
+		recs := sortedRecs(n)
+		tr, err := Build(recs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			v, ok := tr.Get(r.Key)
+			if !ok || v != r.Value {
+				t.Fatalf("n=%d: Get(%d) = %d,%v", n, r.Key, v, ok)
+			}
+		}
+		// Misses between keys.
+		for _, r := range recs {
+			if _, ok := tr.Get(r.Key + 1); ok {
+				t.Fatalf("n=%d: phantom %d", n, r.Key+1)
+			}
+		}
+	}
+}
+
+func TestLayoutIsPermutationProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		seen := map[uint64]bool{}
+		var recs []core.Record
+		for _, r := range raw {
+			k := uint64(r)
+			if !seen[k] {
+				seen[k] = true
+				recs = append(recs, core.Record{Key: k, Value: k})
+			}
+		}
+		// sort
+		for i := 1; i < len(recs); i++ {
+			for j := i; j > 0 && recs[j].Key < recs[j-1].Key; j-- {
+				recs[j], recs[j-1] = recs[j-1], recs[j]
+			}
+		}
+		tr, err := Build(recs, nil)
+		if err != nil {
+			return false
+		}
+		if len(tr.nodes) != len(recs) {
+			return false
+		}
+		// Every record position appears exactly once in the layout.
+		posSeen := map[int32]bool{}
+		for _, n := range tr.nodes {
+			if posSeen[n.pos] {
+				return false
+			}
+			posSeen[n.pos] = true
+		}
+		// And every key is findable.
+		for _, r := range recs {
+			if _, ok := tr.Get(r.Key); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	tr, err := Build(sortedRecs(100), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Update(30, 999) {
+		t.Fatal("update")
+	}
+	if v, _ := tr.Get(30); v != 999 {
+		t.Fatal("update not visible")
+	}
+	if tr.Update(31, 0) {
+		t.Fatal("phantom update")
+	}
+}
+
+func TestRangeScan(t *testing.T) {
+	tr, err := Build(sortedRecs(1000), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, first := uint64(0), true
+	n := tr.RangeScan(100, 200, func(k core.Key, v core.Value) bool {
+		if k < 100 || k > 200 {
+			t.Fatalf("out of range %d", k)
+		}
+		if !first && k <= prev {
+			t.Fatal("not ascending")
+		}
+		first, prev = false, k
+		return true
+	})
+	if n != 34 { // keys 102..198 step 3 = 33, plus... 102,105..198: (198-102)/3+1 = 33
+		if n != 33 {
+			t.Fatalf("emitted %d", n)
+		}
+	}
+}
+
+// TestFewerLinesThanBinarySearch: the point of the vEB layout — searches
+// touch fewer distinct cache lines than a binary search over the same data.
+func TestFewerLinesThanBinarySearch(t *testing.T) {
+	const n = 1 << 17
+	tr, err := Build(sortedRecs(n), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	vebTotal, binTotal := 0, 0
+	for i := 0; i < 2000; i++ {
+		k := uint64(rng.Intn(n)) * 3
+		vebTotal += tr.SearchLines(k)
+		binTotal += tr.BinarySearchLines(k)
+	}
+	if vebTotal >= binTotal {
+		t.Fatalf("vEB touched %d lines vs binary search %d", vebTotal, binTotal)
+	}
+	t.Logf("avg lines/search: vEB %.2f, binary %.2f (%.0f%% saved)",
+		float64(vebTotal)/2000, float64(binTotal)/2000,
+		100*(1-float64(vebTotal)/float64(binTotal)))
+}
+
+// TestSpaceOverheadOfPointers: the paper's flip side — the cache-oblivious
+// tree stores pointers a sorted array does not.
+func TestSpaceOverheadOfPointers(t *testing.T) {
+	tr, err := Build(sortedRecs(10000), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Size()
+	if s.AuxBytes == 0 {
+		t.Fatal("no pointer overhead recorded")
+	}
+	if s.SpaceAmplification() < 2.0 {
+		t.Fatalf("expected >2x space vs the raw array, got %v", s.SpaceAmplification())
+	}
+}
+
+func TestMeterCharges(t *testing.T) {
+	tr, err := Build(sortedRecs(1000), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Get(300)
+	m := tr.Meter().Snapshot()
+	if m.AuxRead == 0 || m.BaseRead == 0 {
+		t.Fatalf("charges: %+v", m)
+	}
+}

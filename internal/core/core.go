@@ -1,0 +1,147 @@
+// Package core defines the access-method abstraction the rest of the
+// repository is built around, together with the paper's primary
+// contribution: RUM profiling of access methods (profiler.go), a tunable
+// engine that moves through RUM space (tunable.go), a morphing engine that
+// adapts the physical structure to the observed workload (morph.go), and an
+// access-method wizard (wizard.go) — the Section 5 roadmap items.
+//
+// Records are fixed-size (Key, Value) pairs of uint64, matching the paper's
+// running example of an array of fixed-size integers organized in blocks;
+// the fixed 16-byte record makes amplification accounting exact and
+// structure-independent.
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"repro/internal/rum"
+)
+
+// Key is the search key of a record.
+type Key = uint64
+
+// Value is the payload of a record.
+type Value = uint64
+
+// KeySize, ValueSize and RecordSize are the fixed on-page encodings.
+const (
+	KeySize    = 8
+	ValueSize  = 8
+	RecordSize = KeySize + ValueSize
+)
+
+// Record is one (key, value) pair.
+type Record struct {
+	Key   Key
+	Value Value
+}
+
+// EncodeRecord writes r into b, which must be at least RecordSize long.
+func EncodeRecord(b []byte, r Record) {
+	binary.LittleEndian.PutUint64(b[0:8], r.Key)
+	binary.LittleEndian.PutUint64(b[8:16], r.Value)
+}
+
+// DecodeRecord reads a record from b, which must be at least RecordSize long.
+func DecodeRecord(b []byte) Record {
+	return Record{
+		Key:   binary.LittleEndian.Uint64(b[0:8]),
+		Value: binary.LittleEndian.Uint64(b[8:16]),
+	}
+}
+
+// Errors shared by access-method implementations.
+var (
+	// ErrKeyExists is returned by Insert when the key is already present in a
+	// structure that enforces key uniqueness.
+	ErrKeyExists = errors.New("core: key already exists")
+	// ErrOutOfRange is returned by structures with a bounded key domain
+	// (e.g. the Prop-1 direct-address array) for keys they cannot store.
+	ErrOutOfRange = errors.New("core: key out of supported range")
+	// ErrNotTunable is returned when a knob is set on a structure that does
+	// not implement Tunable.
+	ErrNotTunable = errors.New("core: access method is not tunable")
+)
+
+// AccessMethod is the uniform interface over every structure in this
+// repository ("algorithms and data structures for organizing and accessing
+// data", the paper's definition). All implementations meter the physical and
+// logical bytes of every operation through a rum.Meter, so their read, write
+// and space amplification can be compared like for like.
+//
+// Key uniqueness: Insert of an existing key returns ErrKeyExists for
+// structures that can check it at no extra asymptotic cost, and is documented
+// per structure otherwise (the append-only log simply shadows older
+// versions). Update and Delete report whether the key existed.
+type AccessMethod interface {
+	// Name identifies the structure (and its tuning), e.g. "btree(B=256)".
+	Name() string
+
+	// Get returns the value for k and whether it was found.
+	Get(k Key) (Value, bool)
+
+	// Insert adds a new record.
+	Insert(k Key, v Value) error
+
+	// Update modifies an existing record, reporting whether it existed.
+	Update(k Key, v Value) bool
+
+	// Delete removes a record, reporting whether it existed.
+	Delete(k Key) bool
+
+	// RangeScan calls emit for every record with lo <= key <= hi, in
+	// ascending key order where the structure supports order (hash-based
+	// structures document their scan order). Scanning stops early if emit
+	// returns false. It returns the number of records emitted.
+	RangeScan(lo, hi Key, emit func(Key, Value) bool) int
+
+	// Len returns the number of live records.
+	Len() int
+
+	// Meter exposes the structure's cumulative RUM accounting.
+	Meter() *rum.Meter
+
+	// Size reports current space usage split into base and auxiliary bytes.
+	Size() rum.SizeInfo
+}
+
+// BulkLoader is implemented by structures that support bulk creation from a
+// key-sorted record slice (the "Bulk Creation Cost" column of Table 1).
+type BulkLoader interface {
+	// BulkLoad replaces the structure's contents with recs, which must be
+	// sorted by key and free of duplicates.
+	BulkLoad(recs []Record) error
+}
+
+// Flusher is implemented by structures that buffer writes (e.g. through a
+// buffer pool or memtable) and can force them to the simulated device so that
+// write amplification includes deferred traffic.
+type Flusher interface {
+	Flush()
+}
+
+// Tunable is implemented by structures whose RUM position can be moved at
+// runtime by adjusting named knobs — the Section 5 "tunable RUM balance".
+type Tunable interface {
+	// Knobs lists the available tuning parameters.
+	Knobs() []Knob
+	// SetKnob adjusts one parameter; implementations may reorganize data.
+	SetKnob(name string, value float64) error
+}
+
+// Knob describes one tuning parameter of a Tunable access method.
+type Knob struct {
+	Name    string  // identifier, e.g. "size_ratio"
+	Min     float64 // smallest accepted value
+	Max     float64 // largest accepted value
+	Current float64 // value now in effect
+	Doc     string  // human description of the RUM effect
+}
+
+// Flush forces am's buffered writes down to its device if it buffers at all.
+func Flush(am AccessMethod) {
+	if f, ok := am.(Flusher); ok {
+		f.Flush()
+	}
+}

@@ -1,0 +1,349 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rum"
+	"repro/internal/workload"
+)
+
+func TestRecordEncoding(t *testing.T) {
+	f := func(k, v uint64) bool {
+		var buf [RecordSize]byte
+		EncodeRecord(buf[:], Record{Key: k, Value: v})
+		r := DecodeRecord(buf[:])
+		return r.Key == k && r.Value == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fakeAM is a map-backed access method for wrapper tests.
+type fakeAM struct {
+	m     map[Key]Value
+	meter rum.Meter
+	flush int
+}
+
+func newFake() *fakeAM { return &fakeAM{m: map[Key]Value{}} }
+
+func (f *fakeAM) Name() string { return "fake" }
+func (f *fakeAM) Get(k Key) (Value, bool) {
+	f.meter.CountRead(rum.Base, 16)
+	v, ok := f.m[k]
+	return v, ok
+}
+func (f *fakeAM) Insert(k Key, v Value) error {
+	if _, ok := f.m[k]; ok {
+		return ErrKeyExists
+	}
+	f.meter.CountWrite(rum.Base, 16)
+	f.m[k] = v
+	return nil
+}
+func (f *fakeAM) Update(k Key, v Value) bool {
+	if _, ok := f.m[k]; !ok {
+		return false
+	}
+	f.meter.CountWrite(rum.Base, 16)
+	f.m[k] = v
+	return true
+}
+func (f *fakeAM) Delete(k Key) bool {
+	if _, ok := f.m[k]; !ok {
+		return false
+	}
+	f.meter.CountWrite(rum.Base, 16)
+	delete(f.m, k)
+	return true
+}
+func (f *fakeAM) RangeScan(lo, hi Key, emit func(Key, Value) bool) int {
+	n := 0
+	for k, v := range f.m {
+		if k >= lo && k <= hi {
+			n++
+			if !emit(k, v) {
+				break
+			}
+		}
+	}
+	return n
+}
+func (f *fakeAM) Len() int           { return len(f.m) }
+func (f *fakeAM) Meter() *rum.Meter  { return &f.meter }
+func (f *fakeAM) Size() rum.SizeInfo { return rum.SizeInfo{BaseBytes: uint64(len(f.m)) * 16} }
+func (f *fakeAM) Flush()             { f.flush++ }
+
+func TestInstrumentLogicalAccounting(t *testing.T) {
+	w := Instrument(newFake())
+	w.Get(1)           // miss: still one logical read
+	_ = w.Insert(1, 2) // one logical write
+	w.Update(1, 3)     // one logical write
+	w.Update(99, 3)    // miss: still accounted
+	w.Delete(1)        // one logical write
+	m := w.Meter().Snapshot()
+	if m.LogicalRead != RecordSize {
+		t.Fatalf("logical reads %d", m.LogicalRead)
+	}
+	if m.LogicalWritten != 4*RecordSize {
+		t.Fatalf("logical writes %d", m.LogicalWritten)
+	}
+	if m.ReadOps != 1 || m.WriteOps != 4 {
+		t.Fatalf("ops %d/%d", m.ReadOps, m.WriteOps)
+	}
+}
+
+func TestInstrumentRangeAccounting(t *testing.T) {
+	w := Instrument(newFake())
+	for k := Key(0); k < 10; k++ {
+		if err := w.Insert(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := w.Meter().Snapshot()
+	n := w.RangeScan(0, 4, func(Key, Value) bool { return true })
+	if n != 5 {
+		t.Fatalf("emitted %d", n)
+	}
+	d := w.Meter().Diff(before)
+	if d.LogicalRead != 5*RecordSize {
+		t.Fatalf("range logical %d", d.LogicalRead)
+	}
+}
+
+func TestInstrumentIdempotent(t *testing.T) {
+	f := newFake()
+	w := Instrument(f)
+	if Instrument(w) != w {
+		t.Fatal("double wrap")
+	}
+	if w.Unwrap() != AccessMethod(f) {
+		t.Fatal("unwrap")
+	}
+	w.Flush()
+	if f.flush != 1 {
+		t.Fatal("flush not forwarded")
+	}
+}
+
+func TestInstrumentBulkLoadFallsBackToInserts(t *testing.T) {
+	w := Instrument(newFake()) // fakeAM is not a BulkLoader
+	recs := []Record{{Key: 1, Value: 2}, {Key: 3, Value: 4}}
+	if err := w.BulkLoad(recs); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 2 {
+		t.Fatal("len")
+	}
+	if v, ok := w.Get(3); !ok || v != 4 {
+		t.Fatal("get")
+	}
+}
+
+func TestInstrumentKnobsOnNonTunable(t *testing.T) {
+	w := Instrument(newFake())
+	if w.Knobs() != nil {
+		t.Fatal("knobs on non-tunable")
+	}
+	if err := w.SetKnob("x", 1); err != ErrNotTunable {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunProfile(t *testing.T) {
+	gen := workload.New(workload.Config{Seed: 1, Mix: workload.Balanced, InitialLen: 500})
+	prof, err := RunProfile(newFake(), gen, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Name != "fake" {
+		t.Fatal("name")
+	}
+	st := prof.Ops
+	total := st.Gets + st.Ranges + st.Inserts + st.Updates + st.Deletes
+	if total != 2000 {
+		t.Fatalf("ops %d", total)
+	}
+	if st.InsertFailures != 0 {
+		t.Fatalf("insert failures %d", st.InsertFailures)
+	}
+	if st.Hits == 0 || st.UpdateHits == 0 {
+		t.Fatal("no hits: generator/live-set mismatch")
+	}
+	if prof.Point.R <= 0 || prof.Point.U <= 0 {
+		t.Fatalf("degenerate point %v", prof.Point)
+	}
+	if prof.String() == "" {
+		t.Fatal("string")
+	}
+}
+
+func TestMixWindow(t *testing.T) {
+	w := NewMixWindow(4)
+	if w.Total() != 0 {
+		t.Fatal("empty total")
+	}
+	w.Observe(workload.OpGet)
+	w.Observe(workload.OpGet)
+	w.Observe(workload.OpInsert)
+	mix := w.Mix()
+	if mix.Get < 0.6 || mix.Insert < 0.3 {
+		t.Fatalf("mix %+v", mix)
+	}
+	// Rolling: old entries leave the window.
+	for i := 0; i < 4; i++ {
+		w.Observe(workload.OpDelete)
+	}
+	if m := w.Mix(); m.Delete != 1 || m.Get != 0 {
+		t.Fatalf("rolled mix %+v", m)
+	}
+	if w.Total() != 4 {
+		t.Fatalf("total %d", w.Total())
+	}
+}
+
+func TestWizardRankings(t *testing.T) {
+	// Point-read heavy: a point index must rank first.
+	recs := Recommend(Requirements{
+		Mix:      workload.Mix{Get: 0.9, Update: 0.1},
+		DataSize: 1 << 20,
+	})
+	if len(recs) < 5 {
+		t.Fatal("too few recommendations")
+	}
+	if top := recs[0].Method; top != "hash" && top != "btree" {
+		t.Fatalf("read workload top pick %q", top)
+	}
+
+	// Write-heavy on flash: the LSM must rank first.
+	recs = Recommend(Requirements{
+		Mix:       workload.Mix{Insert: 0.7, Update: 0.2, Get: 0.1},
+		DataSize:  1 << 20,
+		FlashLike: true,
+	})
+	if recs[0].Method != "lsm" {
+		t.Fatalf("flash write workload top pick %q", recs[0].Method)
+	}
+
+	// Scan-heavy and memory-tight: sparse structures over fat trees.
+	recs = Recommend(Requirements{
+		Mix:         workload.Mix{Range: 0.8, Get: 0.1, Insert: 0.1},
+		DataSize:    1 << 20,
+		MemoryTight: true,
+	})
+	rank := map[string]int{}
+	for i, r := range recs {
+		rank[r.Method] = i
+	}
+	if rank["zonemap"] > rank["hash"] {
+		t.Fatalf("memory-tight scan: zonemap ranked %d below hash %d", rank["zonemap"], rank["hash"])
+	}
+	if Explain(recs) == "" {
+		t.Fatal("explain")
+	}
+}
+
+func TestWizardPrioritiesNormalize(t *testing.T) {
+	p := Priorities{}.normalized()
+	if p.Read+p.Write+p.Space != 1 {
+		t.Fatalf("normalized %+v", p)
+	}
+	q := Priorities{Read: 2, Write: 1, Space: 1}.normalized()
+	if q.Read != 0.5 {
+		t.Fatalf("weighted %+v", q)
+	}
+}
+
+// shapeAM wraps fakeAM with a fixed name for morphing tests.
+type shapeAM struct {
+	*fakeAM
+	name  string
+	meter *rum.Meter
+}
+
+func (s *shapeAM) Name() string      { return s.name }
+func (s *shapeAM) Meter() *rum.Meter { return s.meter }
+
+func TestMorphingSwitchesShape(t *testing.T) {
+	flavors := []Flavor{
+		{
+			Name: "reader",
+			New: func(m *rum.Meter) AccessMethod {
+				return &shapeAM{fakeAM: newFake(), name: "reader", meter: m}
+			},
+			Score: func(mix workload.Mix) float64 { return mix.Get },
+		},
+		{
+			Name: "writer",
+			New: func(m *rum.Meter) AccessMethod {
+				return &shapeAM{fakeAM: newFake(), name: "writer", meter: m}
+			},
+			Score: func(mix workload.Mix) float64 { return mix.Insert + mix.Update + mix.Delete },
+		},
+	}
+	eng, err := NewMorphing(flavors, 0, MorphPolicy{Window: 64, Interval: 32, Hysteresis: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.CurrentFlavor() != "reader" {
+		t.Fatal("start flavor")
+	}
+	// Read phase: stays reader.
+	for i := 0; i < 200; i++ {
+		eng.Get(Key(i))
+	}
+	if eng.CurrentFlavor() != "reader" {
+		t.Fatal("switched without cause")
+	}
+	// Write phase: must migrate to writer, keeping the data.
+	for i := 0; i < 100; i++ {
+		_ = eng.Insert(Key(i), Value(i))
+	}
+	for i := 0; i < 300; i++ {
+		eng.Update(Key(i%100), 7)
+	}
+	if eng.CurrentFlavor() != "writer" {
+		t.Fatalf("did not morph: %s", eng.CurrentFlavor())
+	}
+	if eng.Migrations() != 1 {
+		t.Fatalf("migrations %d", eng.Migrations())
+	}
+	if eng.Len() != 100 {
+		t.Fatalf("records lost in migration: %d", eng.Len())
+	}
+	for i := 0; i < 100; i++ {
+		if v, ok := eng.Get(Key(i)); !ok || v != 7 {
+			t.Fatalf("Get(%d) after migration = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestMorphingValidation(t *testing.T) {
+	if _, err := NewMorphing(nil, 0, MorphPolicy{}); err == nil {
+		t.Fatal("empty flavors accepted")
+	}
+	fl := []Flavor{{Name: "x", New: func(m *rum.Meter) AccessMethod { return newFake() }, Score: func(workload.Mix) float64 { return 0 }}}
+	if _, err := NewMorphing(fl, 5, MorphPolicy{}); err == nil {
+		t.Fatal("bad start index accepted")
+	}
+}
+
+func TestMorphingBulkLoad(t *testing.T) {
+	fl := []Flavor{{
+		Name:  "only",
+		New:   func(m *rum.Meter) AccessMethod { return &shapeAM{fakeAM: newFake(), name: "only", meter: m} },
+		Score: func(workload.Mix) float64 { return 1 },
+	}}
+	eng, err := NewMorphing(fl, 0, MorphPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.BulkLoad([]Record{{Key: 1, Value: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := eng.Get(1); !ok || v != 2 {
+		t.Fatal("bulk load")
+	}
+}

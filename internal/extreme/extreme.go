@@ -1,0 +1,310 @@
+// Package extreme implements the three thought-experiment structures of
+// Section 2 of the paper, each minimizing exactly one RUM overhead, used to
+// verify Propositions 1–3 empirically:
+//
+//	Prop 1: min(RO) = 1.0 ⇒ UO = 2.0 and MO → ∞   (direct-address array)
+//	Prop 2: min(UO) = 1.0 ⇒ RO → ∞ and MO → ∞     (append-only log)
+//	Prop 3: min(MO) = 1.0 ⇒ RO = N and UO = 1.0   (dense in-place array)
+//
+// The paper's model is a relation of N integer values stored in fixed-size
+// blocks; the workload is membership queries, inserts, deletes, and value
+// changes. IntStore captures exactly that model (it is deliberately narrower
+// than core.AccessMethod: the structures are content-addressed sets, not
+// key-value maps).
+package extreme
+
+import (
+	"repro/internal/rum"
+)
+
+// SlotSize is the size of one block in the paper's model: a block holds one
+// value.
+const SlotSize = 8
+
+// IntStore is the paper's Section-2 abstraction: a set of integers supporting
+// membership, insert, delete, and value change.
+type IntStore interface {
+	// Name identifies the structure.
+	Name() string
+	// Has reports whether v is in the set.
+	Has(v uint64) bool
+	// Insert adds v (no-op if present; idempotency is structure-specific and
+	// documented per implementation).
+	Insert(v uint64)
+	// Delete removes v, reporting whether it was present.
+	Delete(v uint64) bool
+	// Change replaces old with new, reporting whether old was present.
+	Change(old, new uint64) bool
+	// Len returns the number of live values.
+	Len() int
+	// Meter exposes the RUM accounting.
+	Meter() *rum.Meter
+	// Size reports current space usage.
+	Size() rum.SizeInfo
+}
+
+// DirectArray is the Prop-1 structure: value v is stored in the block with
+// blkid = v, so every lookup reads exactly the one block that can hold the
+// answer (RO = 1). Changing a value must empty the old block and fill the new
+// one (UO = 2), and the array must span the whole value domain (MO unbounded).
+//
+// The slot array is materialized sparsely in process memory but *accounted*
+// densely: space usage covers every block up to the configured domain,
+// exactly as the paper's analysis requires.
+type DirectArray struct {
+	domain uint64
+	slots  map[uint64]struct{}
+	meter  rum.Meter
+}
+
+// NewDirectArray creates a direct-address array over the value domain
+// [0, domain).
+func NewDirectArray(domain uint64) *DirectArray {
+	return &DirectArray{domain: domain, slots: make(map[uint64]struct{})}
+}
+
+// Name returns "direct-array".
+func (d *DirectArray) Name() string { return "direct-array" }
+
+// Has reads exactly one block.
+func (d *DirectArray) Has(v uint64) bool {
+	d.meter.CountRead(rum.Base, SlotSize)
+	d.meter.CountLogicalRead(SlotSize)
+	_, ok := d.slots[v]
+	return ok
+}
+
+// Insert writes exactly one block.
+func (d *DirectArray) Insert(v uint64) {
+	d.meter.CountWrite(rum.Base, SlotSize)
+	d.meter.CountLogicalWrite(SlotSize)
+	d.slots[v] = struct{}{}
+}
+
+// Delete empties exactly one block.
+func (d *DirectArray) Delete(v uint64) bool {
+	d.meter.CountWrite(rum.Base, SlotSize)
+	d.meter.CountLogicalWrite(SlotSize)
+	_, ok := d.slots[v]
+	delete(d.slots, v)
+	return ok
+}
+
+// Change empties the old block and fills the new one: two physical writes
+// for one logical update, the paper's UO = 2.0 worst case.
+func (d *DirectArray) Change(old, new uint64) bool {
+	_, ok := d.slots[old]
+	if !ok {
+		return false
+	}
+	delete(d.slots, old)
+	d.slots[new] = struct{}{}
+	d.meter.CountWrite(rum.Base, 2*SlotSize)
+	d.meter.CountLogicalWrite(SlotSize)
+	return true
+}
+
+// Len returns the number of stored values.
+func (d *DirectArray) Len() int { return len(d.slots) }
+
+// Meter returns the RUM accounting.
+func (d *DirectArray) Meter() *rum.Meter { return &d.meter }
+
+// Size accounts the full domain-sized array: live slots are base data, the
+// null slots in between are pure overhead.
+func (d *DirectArray) Size() rum.SizeInfo {
+	live := uint64(len(d.slots)) * SlotSize
+	total := d.domain * SlotSize
+	if total < live {
+		total = live
+	}
+	return rum.SizeInfo{BaseBytes: live, AuxBytes: total - live}
+}
+
+// logEntry is one appended record of the AppendLog.
+type logKind uint8
+
+const (
+	logInsert logKind = iota
+	logDelete
+)
+
+type logEntry struct {
+	kind logKind
+	v    uint64
+}
+
+// logEntrySize is the on-disk footprint of one log entry: a value plus a
+// one-byte tombstone tag, padded to the block slot.
+const logEntrySize = SlotSize
+
+// AppendLog is the Prop-2 structure: every modification is appended to an
+// ever-growing log, so each logical update performs exactly one physical
+// write of its own size (UO = 1). Reads must scan the log backwards for the
+// latest entry, and nothing is ever reclaimed, so both RO and MO grow without
+// bound as updates accumulate.
+//
+// Insert appends unconditionally; the newest entry for a value shadows older
+// ones.
+type AppendLog struct {
+	entries []logEntry
+	liveLen int
+	meter   rum.Meter
+}
+
+// NewAppendLog creates an empty log.
+func NewAppendLog() *AppendLog { return &AppendLog{} }
+
+// Name returns "append-log".
+func (l *AppendLog) Name() string { return "append-log" }
+
+// Has scans the log from the tail until it finds the newest entry for v.
+func (l *AppendLog) Has(v uint64) bool {
+	found := false
+	scanned := 0
+	for i := len(l.entries) - 1; i >= 0; i-- {
+		scanned++
+		if l.entries[i].v == v {
+			found = l.entries[i].kind == logInsert
+			break
+		}
+	}
+	l.meter.CountRead(rum.Base, scanned*logEntrySize)
+	l.meter.CountLogicalRead(SlotSize)
+	return found
+}
+
+func (l *AppendLog) append(e logEntry) {
+	l.entries = append(l.entries, e)
+	l.meter.CountWrite(rum.Base, logEntrySize)
+	l.meter.CountLogicalWrite(SlotSize)
+}
+
+// Insert appends one entry: exactly one physical write per logical write.
+func (l *AppendLog) Insert(v uint64) {
+	l.append(logEntry{kind: logInsert, v: v})
+	l.liveLen++
+}
+
+// Delete appends a tombstone. The scan needed to know whether v was present
+// is charged as read overhead, not write overhead, so UO stays 1.
+func (l *AppendLog) Delete(v uint64) bool {
+	present := l.Has(v)
+	l.append(logEntry{kind: logDelete, v: v})
+	if present {
+		l.liveLen--
+	}
+	return present
+}
+
+// Change appends a tombstone for old and an insert for new — but each append
+// is itself a logical update of the pair, so physical writes equal logical
+// writes and UO remains exactly 1.0.
+func (l *AppendLog) Change(old, new uint64) bool {
+	present := l.Has(old)
+	if !present {
+		return false
+	}
+	l.entries = append(l.entries, logEntry{kind: logDelete, v: old}, logEntry{kind: logInsert, v: new})
+	l.meter.CountWrite(rum.Base, 2*logEntrySize)
+	l.meter.CountLogicalWrite(2 * SlotSize)
+	return true
+}
+
+// Len returns the number of live (non-shadowed, non-deleted) values.
+func (l *AppendLog) Len() int { return l.liveLen }
+
+// Meter returns the RUM accounting.
+func (l *AppendLog) Meter() *rum.Meter { return &l.meter }
+
+// Size reports the whole log as stored bytes; only the live values count as
+// base data, everything shadowed or deleted is overhead that never shrinks.
+func (l *AppendLog) Size() rum.SizeInfo {
+	total := uint64(len(l.entries)) * logEntrySize
+	base := uint64(l.liveLen) * SlotSize
+	if base > total {
+		base = total
+	}
+	return rum.SizeInfo{BaseBytes: base, AuxBytes: total - base}
+}
+
+// DenseArray is the Prop-3 structure: the values are kept in a dense,
+// unordered array with no auxiliary data at all, so MO = 1.0 exactly.
+// Membership must scan the array (RO grows linearly with N) while updates,
+// once located, are performed in place (UO = 1).
+type DenseArray struct {
+	vals  []uint64
+	meter rum.Meter
+}
+
+// NewDenseArray creates an empty dense array.
+func NewDenseArray() *DenseArray { return &DenseArray{} }
+
+// Name returns "dense-array".
+func (a *DenseArray) Name() string { return "dense-array" }
+
+// scan returns the index of v, charging the scanned bytes as read overhead.
+func (a *DenseArray) scan(v uint64) int {
+	for i, x := range a.vals {
+		if x == v {
+			a.meter.CountRead(rum.Base, (i+1)*SlotSize)
+			return i
+		}
+	}
+	a.meter.CountRead(rum.Base, len(a.vals)*SlotSize)
+	return -1
+}
+
+// Has scans the array.
+func (a *DenseArray) Has(v uint64) bool {
+	i := a.scan(v)
+	a.meter.CountLogicalRead(SlotSize)
+	return i >= 0
+}
+
+// Insert appends in place: one physical write per logical insert.
+func (a *DenseArray) Insert(v uint64) {
+	a.vals = append(a.vals, v)
+	a.meter.CountWrite(rum.Base, SlotSize)
+	a.meter.CountLogicalWrite(SlotSize)
+}
+
+// Delete locates v (read cost) and fills the hole with the last element
+// (one in-place write), keeping the array dense with UO = 1.
+func (a *DenseArray) Delete(v uint64) bool {
+	i := a.scan(v)
+	if i < 0 {
+		a.meter.CountLogicalWrite(SlotSize)
+		return false
+	}
+	last := len(a.vals) - 1
+	a.vals[i] = a.vals[last]
+	a.vals = a.vals[:last]
+	a.meter.CountWrite(rum.Base, SlotSize)
+	a.meter.CountLogicalWrite(SlotSize)
+	return true
+}
+
+// Change locates old (read cost) and overwrites it in place: exactly one
+// physical write for one logical update, the paper's UO = 1.0.
+func (a *DenseArray) Change(old, new uint64) bool {
+	i := a.scan(old)
+	if i < 0 {
+		return false
+	}
+	a.vals[i] = new
+	a.meter.CountWrite(rum.Base, SlotSize)
+	a.meter.CountLogicalWrite(SlotSize)
+	return true
+}
+
+// Len returns the number of stored values.
+func (a *DenseArray) Len() int { return len(a.vals) }
+
+// Meter returns the RUM accounting.
+func (a *DenseArray) Meter() *rum.Meter { return &a.meter }
+
+// Size reports zero auxiliary bytes: MO is exactly 1.0 by construction.
+func (a *DenseArray) Size() rum.SizeInfo {
+	return rum.SizeInfo{BaseBytes: uint64(len(a.vals)) * SlotSize}
+}

@@ -1,0 +1,213 @@
+package extreme
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// stores builds one of each extreme structure for shared behavioural tests.
+func stores() []IntStore {
+	return []IntStore{
+		NewDirectArray(1 << 20),
+		NewAppendLog(),
+		NewDenseArray(),
+	}
+}
+
+func TestBasicSetSemantics(t *testing.T) {
+	for _, s := range stores() {
+		if s.Has(5) {
+			t.Fatalf("%s: Has on empty", s.Name())
+		}
+		s.Insert(5)
+		if !s.Has(5) {
+			t.Fatalf("%s: inserted value missing", s.Name())
+		}
+		if s.Len() != 1 {
+			t.Fatalf("%s: Len %d", s.Name(), s.Len())
+		}
+		if !s.Change(5, 9) {
+			t.Fatalf("%s: Change failed", s.Name())
+		}
+		if s.Has(5) || !s.Has(9) {
+			t.Fatalf("%s: Change semantics", s.Name())
+		}
+		if !s.Delete(9) {
+			t.Fatalf("%s: Delete failed", s.Name())
+		}
+		if s.Has(9) || s.Len() != 0 {
+			t.Fatalf("%s: state after delete", s.Name())
+		}
+		if s.Delete(9) {
+			t.Fatalf("%s: double delete returned true", s.Name())
+		}
+		if s.Change(9, 10) {
+			t.Fatalf("%s: Change of absent value returned true", s.Name())
+		}
+	}
+}
+
+func TestRandomizedAgainstSet(t *testing.T) {
+	for _, s := range stores() {
+		rng := rand.New(rand.NewSource(7))
+		ref := map[uint64]bool{}
+		for i := 0; i < 3000; i++ {
+			v := uint64(rng.Intn(1 << 12))
+			switch rng.Intn(4) {
+			case 0:
+				if !ref[v] {
+					s.Insert(v)
+					ref[v] = true
+				}
+			case 1:
+				if s.Has(v) != ref[v] {
+					t.Fatalf("%s op %d: Has(%d) mismatch", s.Name(), i, v)
+				}
+			case 2:
+				nv := uint64(rng.Intn(1 << 12))
+				if ref[v] && !ref[nv] || (ref[v] && v == nv) {
+					if s.Change(v, nv) != true {
+						t.Fatalf("%s: Change(%d,%d) failed", s.Name(), v, nv)
+					}
+					delete(ref, v)
+					ref[nv] = true
+				}
+			case 3:
+				got := s.Delete(v)
+				if got != ref[v] {
+					t.Fatalf("%s op %d: Delete(%d) = %v want %v", s.Name(), i, v, got, ref[v])
+				}
+				delete(ref, v)
+			}
+			if s.Len() != len(ref) {
+				t.Fatalf("%s op %d: Len %d want %d", s.Name(), i, s.Len(), len(ref))
+			}
+		}
+	}
+}
+
+// TestProp1Accounting: the direct-address array must show RO exactly 1 and
+// UO exactly 2 for changes.
+func TestProp1Accounting(t *testing.T) {
+	d := NewDirectArray(1 << 16)
+	for v := uint64(0); v < 100; v++ {
+		d.Insert(v * 7)
+	}
+	m0 := d.Meter().Snapshot()
+	for v := uint64(0); v < 100; v++ {
+		d.Has(v * 7)
+	}
+	if ro := d.Meter().Diff(m0).ReadAmplification(); ro != 1.0 {
+		t.Fatalf("RO = %v", ro)
+	}
+	m0 = d.Meter().Snapshot()
+	for v := uint64(0); v < 100; v++ {
+		d.Change(v*7, v*7+1)
+	}
+	if uo := d.Meter().Diff(m0).WriteAmplification(); uo != 2.0 {
+		t.Fatalf("UO = %v", uo)
+	}
+	// MO is domain-bound, not content-bound.
+	if mo := d.Size().SpaceAmplification(); mo < float64(1<<16)/200 {
+		t.Fatalf("MO = %v", mo)
+	}
+}
+
+// TestProp2Accounting: the log's UO is exactly 1 and its size never shrinks.
+func TestProp2Accounting(t *testing.T) {
+	l := NewAppendLog()
+	for v := uint64(0); v < 500; v++ {
+		l.Insert(v)
+	}
+	if uo := l.Meter().WriteAmplification(); uo != 1.0 {
+		t.Fatalf("UO = %v", uo)
+	}
+	sizeBefore := l.Size().Total()
+	for v := uint64(0); v < 500; v++ {
+		l.Delete(v)
+	}
+	if l.Len() != 0 {
+		t.Fatalf("Len %d", l.Len())
+	}
+	if l.Size().Total() <= sizeBefore {
+		t.Fatal("deletes must grow the log, never shrink it")
+	}
+	if uo := l.Meter().WriteAmplification(); uo != 1.0 {
+		t.Fatalf("UO after deletes = %v", uo)
+	}
+}
+
+// TestProp2ReadCostGrows: the log's probe cost grows with churn.
+func TestProp2ReadCostGrows(t *testing.T) {
+	l := NewAppendLog()
+	l.Insert(1)
+	m0 := l.Meter().Snapshot()
+	l.Has(1)
+	early := l.Meter().Diff(m0).PhysicalRead()
+	for v := uint64(2); v < 1000; v++ {
+		l.Insert(v)
+	}
+	m0 = l.Meter().Snapshot()
+	l.Has(1) // oldest entry: scans the whole log
+	late := l.Meter().Diff(m0).PhysicalRead()
+	if late <= early*100 {
+		t.Fatalf("read cost did not grow: %d -> %d", early, late)
+	}
+}
+
+// TestProp3Accounting: the dense array has MO exactly 1 always.
+func TestProp3Accounting(t *testing.T) {
+	a := NewDenseArray()
+	f := func(vals []uint64) bool {
+		for _, v := range vals {
+			a.Insert(v)
+		}
+		return a.Size().SpaceAmplification() == 1.0 && a.Size().AuxBytes == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDenseArrayScanCost(t *testing.T) {
+	a := NewDenseArray()
+	const n = 2000
+	for v := uint64(0); v < n; v++ {
+		a.Insert(v)
+	}
+	m0 := a.Meter().Snapshot()
+	a.Has(n + 5) // absent: full scan
+	read := a.Meter().Diff(m0).PhysicalRead()
+	if read != n*SlotSize {
+		t.Fatalf("miss scan read %d bytes, want %d", read, n*SlotSize)
+	}
+}
+
+func TestDirectArrayUnboundedMO(t *testing.T) {
+	small := NewDirectArray(1 << 10)
+	big := NewDirectArray(1 << 30)
+	small.Insert(1)
+	big.Insert(1)
+	if big.Size().SpaceAmplification() <= small.Size().SpaceAmplification() {
+		t.Fatal("MO must grow with the domain")
+	}
+	empty := NewDirectArray(1 << 10)
+	if mo := empty.Size().SpaceAmplification(); !math.IsInf(mo, 1) {
+		t.Fatalf("empty direct array MO = %v, want +Inf (pure overhead)", mo)
+	}
+}
+
+func TestAppendLogShadowing(t *testing.T) {
+	l := NewAppendLog()
+	l.Insert(7)
+	l.Delete(7)
+	if l.Has(7) {
+		t.Fatal("tombstone not respected")
+	}
+	l.Insert(7)
+	if !l.Has(7) {
+		t.Fatal("re-insert after tombstone not visible")
+	}
+}

@@ -1,0 +1,100 @@
+package extsort
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/rum"
+)
+
+func TestSortsCorrectly(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	recs := make([]core.Record, 10000)
+	for i := range recs {
+		recs[i] = core.Record{Key: rng.Uint64(), Value: uint64(i)}
+	}
+	Sort(recs, 8, 4096, nil)
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Key < recs[i-1].Key {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+}
+
+func TestSortProperty(t *testing.T) {
+	f := func(keys []uint64) bool {
+		recs := make([]core.Record, len(keys))
+		for i, k := range keys {
+			recs[i] = core.Record{Key: k, Value: uint64(i)}
+		}
+		Sort(recs, 4, 256, nil)
+		for i := 1; i < len(recs); i++ {
+			if recs[i].Key < recs[i-1].Key {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPassCountMatchesModel(t *testing.T) {
+	// 256-byte pages hold 16 records; runs of memPages pages merge with
+	// fan-in memPages-1: passes = 1 + merge levels.
+	cases := []struct {
+		n, mem     int
+		wantPasses int
+	}{
+		{16 * 4, 4, 1},  // 4 pages → 1 run
+		{16 * 16, 4, 3}, // 16 pages → 4 runs → 2 → 1: two merge passes
+		{16 * 64, 4, 4}, // 64 pages → 16 runs → 6 → 2 → 1: three merges
+	}
+	for _, c := range cases {
+		recs := make([]core.Record, c.n)
+		for i := range recs {
+			recs[i] = core.Record{Key: uint64(c.n - i)}
+		}
+		st := Sort(recs, c.mem, 256, nil)
+		if st.Passes != c.wantPasses {
+			t.Fatalf("n=%d mem=%d: passes=%d want %d", c.n, c.mem, st.Passes, c.wantPasses)
+		}
+	}
+}
+
+func TestIOChargedToMeter(t *testing.T) {
+	meter := &rum.Meter{}
+	recs := make([]core.Record, 4096)
+	for i := range recs {
+		recs[i] = core.Record{Key: uint64(4096 - i)}
+	}
+	st := Sort(recs, 4, 4096, meter)
+	if st.PageReads == 0 || st.PageWrites != st.PageReads {
+		t.Fatalf("stats: %+v", st)
+	}
+	if meter.AuxRead != st.PageReads*4096 {
+		t.Fatalf("meter reads %d, stats %d pages", meter.AuxRead, st.PageReads)
+	}
+	// More memory → fewer or equal passes and page moves.
+	recs2 := make([]core.Record, 4096)
+	for i := range recs2 {
+		recs2[i] = core.Record{Key: uint64(4096 - i)}
+	}
+	st2 := Sort(recs2, 64, 4096, nil)
+	if st2.PageReads > st.PageReads {
+		t.Fatalf("more memory moved more pages: %d > %d", st2.PageReads, st.PageReads)
+	}
+}
+
+func TestEmptyAndTiny(t *testing.T) {
+	if st := Sort(nil, 4, 4096, nil); st.Passes != 0 {
+		t.Fatalf("empty sort: %+v", st)
+	}
+	one := []core.Record{{Key: 5}}
+	if st := Sort(one, 0, 0, nil); st.Passes != 1 {
+		t.Fatalf("tiny sort: %+v", st)
+	}
+}

@@ -1,0 +1,136 @@
+package hierarchy
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func newH(t *testing.T, cacheCap, ramCap, dataPages int) *Hierarchy {
+	t.Helper()
+	h, err := New(4096, []Level{
+		{Name: "cache", Capacity: cacheCap, Medium: storage.RAM},
+		{Name: "ram", Capacity: ramCap, Medium: storage.RAM},
+		{Name: "disk", Medium: storage.HDD},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Populate(dataPages)
+	return h
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(4096, []Level{{Name: "one"}}); err == nil {
+		t.Fatal("single level accepted")
+	}
+	if _, err := New(0, []Level{{Name: "a", Capacity: 1}, {Name: "b"}}); err == nil {
+		t.Fatal("zero page size accepted")
+	}
+	if _, err := New(4096, []Level{{Name: "a"}, {Name: "b"}}); err == nil {
+		t.Fatal("capacity-less upper level accepted")
+	}
+}
+
+func TestReadServedByBottomThenCached(t *testing.T) {
+	h := newH(t, 2, 8, 100)
+	lvl := h.Read(5)
+	if lvl != 2 {
+		t.Fatalf("cold read served by level %d", lvl)
+	}
+	// Promoted into every level above: next read hits the cache.
+	if lvl := h.Read(5); lvl != 0 {
+		t.Fatalf("warm read served by level %d", lvl)
+	}
+	if h.Levels()[0].Hits() != 1 {
+		t.Fatal("cache hit not counted")
+	}
+}
+
+func TestInclusiveCachingEviction(t *testing.T) {
+	h := newH(t, 2, 4, 100)
+	for p := uint64(0); p < 10; p++ {
+		h.Read(p)
+	}
+	if got := h.Levels()[0].Resident(); got != 2 {
+		t.Fatalf("cache resident %d", got)
+	}
+	if got := h.Levels()[1].Resident(); got != 4 {
+		t.Fatalf("ram resident %d", got)
+	}
+	// Bottom keeps everything.
+	if got := h.Levels()[2].Resident(); got != 100 {
+		t.Fatalf("disk resident %d", got)
+	}
+}
+
+func TestWriteBackCascades(t *testing.T) {
+	h := newH(t, 1, 2, 10)
+	h.Write(1)
+	h.Write(2) // evicts dirty page 1 from cache → write charged at ram
+	if h.Levels()[1].Meter().PhysicalWritten() == 0 {
+		t.Fatal("dirty eviction did not charge the level below")
+	}
+	h.FlushAll()
+	if h.Levels()[2].Meter().PhysicalWritten() == 0 {
+		t.Fatal("flush did not reach the bottom")
+	}
+}
+
+func TestUnknownPageChargesBottom(t *testing.T) {
+	h := newH(t, 2, 4, 10)
+	before := h.Levels()[2].Meter().PhysicalRead()
+	if lvl := h.Read(999); lvl != 2 {
+		t.Fatalf("unknown page served by %d", lvl)
+	}
+	if h.Levels()[2].Meter().PhysicalRead() <= before {
+		t.Fatal("unknown page read not charged")
+	}
+}
+
+func TestSpaceAmplificationPerLevel(t *testing.T) {
+	h := newH(t, 5, 20, 100)
+	for p := uint64(0); p < 50; p++ {
+		h.Read(p)
+	}
+	if mo := h.SpaceAmplification(2); mo != 1.0 {
+		t.Fatalf("bottom MO %v", mo)
+	}
+	if mo := h.SpaceAmplification(1); mo != 0.2 {
+		t.Fatalf("ram MO %v, want 0.2", mo)
+	}
+	if mo := h.SpaceAmplification(0); mo != 0.05 {
+		t.Fatalf("cache MO %v, want 0.05", mo)
+	}
+}
+
+// TestFigure2Monotonicity: the paper's Figure-2 interaction on this exact
+// simulator — more capacity at level n−1 means fewer reads reaching level n.
+func TestFigure2Monotonicity(t *testing.T) {
+	diskReads := func(ramCap int) uint64 {
+		h := newH(t, 4, ramCap, 400)
+		rng := rand.New(rand.NewSource(1))
+		zipf := rand.NewZipf(rng, 1.2, 1, 399)
+		for i := 0; i < 20000; i++ {
+			h.Read(zipf.Uint64())
+		}
+		return h.Levels()[2].Meter().PhysicalRead()
+	}
+	prev := diskReads(4)
+	for _, cap := range []int{16, 64, 256} {
+		cur := diskReads(cap)
+		if cur > prev {
+			t.Fatalf("disk reads grew with ram capacity %d: %d > %d", cap, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestRePopulateIdempotent(t *testing.T) {
+	h := newH(t, 2, 4, 10)
+	h.Populate(10)
+	if h.Levels()[2].Resident() != 10 {
+		t.Fatal("double populate duplicated pages")
+	}
+}

@@ -1,0 +1,169 @@
+package imprints
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func loadRandom(t *testing.T, n int, valueDomain int, seed int64) (*Index, []core.Record) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]core.Record, n)
+	for i := range recs {
+		recs[i] = core.Record{Key: uint64(i), Value: uint64(rng.Intn(valueDomain))}
+	}
+	x := New(nil)
+	if err := x.BulkLoad(recs); err != nil {
+		t.Fatal(err)
+	}
+	return x, recs
+}
+
+func TestScanValuesExact(t *testing.T) {
+	x, recs := loadRandom(t, 5000, 10000, 1)
+	for _, rng := range [][2]uint64{{0, 100}, {5000, 6000}, {9990, 20000}, {3, 3}} {
+		want := map[uint64]uint64{}
+		for _, r := range recs {
+			if r.Value >= rng[0] && r.Value <= rng[1] {
+				want[r.Key] = r.Value
+			}
+		}
+		got := map[uint64]uint64{}
+		n := x.ScanValues(rng[0], rng[1], func(row core.Key, v core.Value) bool {
+			got[row] = v
+			return true
+		})
+		if n != len(want) || len(got) != len(want) {
+			t.Fatalf("range %v: emitted %d want %d", rng, n, len(want))
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("range %v: row %d", rng, k)
+			}
+		}
+	}
+}
+
+func TestScanValuesProperty(t *testing.T) {
+	f := func(vals []uint16, lo, hi uint16) bool {
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		recs := make([]core.Record, len(vals))
+		for i, v := range vals {
+			recs[i] = core.Record{Key: uint64(i), Value: uint64(v)}
+		}
+		x := New(nil)
+		if err := x.BulkLoad(recs); err != nil {
+			return false
+		}
+		want := 0
+		for _, v := range vals {
+			if uint64(v) >= uint64(lo) && uint64(v) <= uint64(hi) {
+				want++
+			}
+		}
+		got := x.ScanValues(uint64(lo), uint64(hi), func(core.Key, core.Value) bool { return true })
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPruningOnUnsortedData: the point of imprints — selective value
+// predicates over unsorted data read far fewer lines than a full scan.
+func TestPruningOnUnsortedData(t *testing.T) {
+	x, _ := loadRandom(t, 1<<16, 1<<30, 2) // wide domain: selective bins
+	m0 := x.Meter().Snapshot()
+	x.ScanValues(0, 1<<20, func(core.Key, core.Value) bool { return true }) // ~0.1% selectivity
+	pruned := x.Meter().Diff(m0).BaseRead
+
+	m0 = x.Meter().Snapshot()
+	x.FullScan(0, 1<<20, func(core.Key, core.Value) bool { return true })
+	full := x.Meter().Diff(m0).BaseRead
+	if pruned*5 > full {
+		t.Fatalf("imprints read %d of %d full-scan bytes", pruned, full)
+	}
+}
+
+// TestIndexIsTiny: a few bits per record, per the paper.
+func TestIndexIsTiny(t *testing.T) {
+	x, _ := loadRandom(t, 1<<16, 1<<30, 3)
+	aux := x.Size().AuxBytes
+	perRecordBits := float64(aux*8) / float64(1<<16)
+	if perRecordBits > 32 {
+		t.Fatalf("imprint costs %.1f bits/record", perRecordBits)
+	}
+	if x.Size().SpaceAmplification() > 1.25 {
+		t.Fatalf("MO %v", x.Size().SpaceAmplification())
+	}
+}
+
+func TestRLECompressesClusteredValues(t *testing.T) {
+	// Clustered values produce long identical-imprint runs.
+	recs := make([]core.Record, 8192)
+	for i := range recs {
+		recs[i] = core.Record{Key: uint64(i), Value: uint64(i / 1024)} // 8 plateaus
+	}
+	clustered := New(nil)
+	if err := clustered.BulkLoad(recs); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := range recs {
+		recs[i].Value = uint64(rng.Intn(1 << 30))
+	}
+	random := New(nil)
+	if err := random.BulkLoad(recs); err != nil {
+		t.Fatal(err)
+	}
+	if clustered.Runs()*4 > random.Runs() {
+		t.Fatalf("clustered runs %d not well below random %d", clustered.Runs(), random.Runs())
+	}
+}
+
+func TestInsertAppends(t *testing.T) {
+	x, recs := loadRandom(t, 1000, 10000, 5)
+	for i := 0; i < 500; i++ {
+		x.Insert(uint64(1000+i), uint64(i%10000))
+	}
+	if x.Len() != 1500 {
+		t.Fatalf("len %d", x.Len())
+	}
+	// Appended records must be findable by value.
+	found := 0
+	x.ScanValues(0, 10000, func(row core.Key, v core.Value) bool {
+		found++
+		return true
+	})
+	if found != 1500 {
+		t.Fatalf("scan found %d of 1500", found)
+	}
+	_ = recs
+}
+
+func TestEmptyAndEdge(t *testing.T) {
+	x := New(nil)
+	if n := x.ScanValues(0, ^uint64(0), func(core.Key, core.Value) bool { return true }); n != 0 {
+		t.Fatalf("empty scan emitted %d", n)
+	}
+	x.Insert(1, 42)
+	if n := x.ScanValues(42, 42, func(core.Key, core.Value) bool { return true }); n != 1 {
+		t.Fatalf("single-record scan emitted %d", n)
+	}
+	if x.String() == "" {
+		t.Fatal("string")
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	x, _ := loadRandom(t, 1000, 100, 6)
+	n := x.ScanValues(0, 100, func(core.Key, core.Value) bool { return false })
+	if n != 1 {
+		t.Fatalf("early stop emitted %d", n)
+	}
+}

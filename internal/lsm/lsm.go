@@ -1,0 +1,699 @@
+// Package lsm implements a log-structured merge tree (O'Neil et al., Acta
+// Informatica 1996), the canonical write-optimized differential structure at
+// the left corner of Figure 1: updates are absorbed in a memtable and
+// consolidated into sorted runs by merging, so one logical write costs far
+// less than an in-place page update — at the price of reads that must
+// consult multiple runs and of space held by not-yet-merged duplicates.
+//
+// The tree is the paper's Section-5 showcase of tunability:
+//
+//   - the size ratio T moves it between write-optimized (large T, tiering)
+//     and read-optimized (small T, leveling) — "changing the number of merge
+//     trees dynamically, the depth of the merge hierarchy and the frequency
+//     of merging";
+//   - per-run Bloom filters and fence pointers are "iterative logs enhanced
+//     by probabilistic data structures that allow for more efficient reads
+//     … at the expense of additional space".
+//
+// Semantics: the LSM performs *blind* writes, its defining property.
+// Insert never returns ErrKeyExists (a uniqueness check would cost a read
+// and forfeit the structure's advantage); Update and Delete return true
+// unconditionally and apply to whatever version exists. Len relies on the
+// caller inserting fresh keys and deleting live ones, as the workload
+// generator guarantees.
+package lsm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/bloom"
+	"repro/internal/core"
+	"repro/internal/rum"
+	"repro/internal/skiplist"
+	"repro/internal/storage"
+)
+
+// Tombstone is the reserved value marking a deleted key inside runs and the
+// memtable. User values must not equal Tombstone.
+const Tombstone = ^core.Value(0)
+
+// Run page layout: bytes 0:4 record count, records of 16 bytes from byte 8.
+const (
+	pageHeader = 8
+	fenceSize  = 12 // first key (8) + page index (4), accounted per probe
+)
+
+// Config tunes the tree.
+type Config struct {
+	// MemtableRecords is the flush threshold (default 1024).
+	MemtableRecords int
+	// SizeRatio is T, the capacity ratio between adjacent levels (default 10).
+	SizeRatio int
+	// Tiering selects tiering compaction (up to T runs per level) instead of
+	// the default leveling (one run per level).
+	Tiering bool
+	// BloomBitsPerKey sizes the per-run Bloom filters; 0 disables them.
+	BloomBitsPerKey float64
+}
+
+func (c *Config) defaults() {
+	if c.MemtableRecords <= 0 {
+		c.MemtableRecords = 1024
+	}
+	if c.SizeRatio < 2 {
+		c.SizeRatio = 10
+	}
+}
+
+// Stats counts structural events.
+type Stats struct {
+	Flushes     uint64
+	Compactions uint64
+	RunsBuilt   uint64
+}
+
+// run is one immutable sorted run stored across device pages.
+type run struct {
+	pages       []storage.PageID
+	fences      []core.Key // first key of each page
+	first, last core.Key
+	count       int
+	filter      *bloom.Filter
+}
+
+// Tree is the LSM tree. Not safe for concurrent use.
+type Tree struct {
+	pool   *storage.BufferPool
+	cfg    Config
+	mem    *skiplist.List
+	levels [][]*run // levels[i]: runs, newest last
+	count  int
+	stats  Stats
+	meter  *rum.Meter
+}
+
+// New creates an empty tree on pool.
+func New(pool *storage.BufferPool, cfg Config) *Tree {
+	cfg.defaults()
+	meter := pool.Device().Meter()
+	return &Tree{
+		pool:  pool,
+		cfg:   cfg,
+		mem:   skiplist.New(42, 0.5, meter),
+		meter: meter,
+	}
+}
+
+// Name identifies the tree and its shape.
+func (t *Tree) Name() string {
+	mode := "level"
+	if t.cfg.Tiering {
+		mode = "tier"
+	}
+	return fmt.Sprintf("lsm(T=%d,%s,bloom=%g)", t.cfg.SizeRatio, mode, t.cfg.BloomBitsPerKey)
+}
+
+// Len returns the live record estimate (see the package comment on blind
+// writes).
+func (t *Tree) Len() int { return t.count }
+
+// Stats returns structural counters.
+func (t *Tree) Stats() Stats { return t.stats }
+
+// Pool returns the buffer pool the tree runs on.
+func (t *Tree) Pool() *storage.BufferPool { return t.pool }
+
+// Meter returns the shared RUM accounting.
+func (t *Tree) Meter() *rum.Meter { return t.meter }
+
+// Depth returns the number of materialized levels.
+func (t *Tree) Depth() int { return len(t.levels) }
+
+// Runs returns the total number of on-device runs.
+func (t *Tree) Runs() int {
+	n := 0
+	for _, lv := range t.levels {
+		n += len(lv)
+	}
+	return n
+}
+
+// Size reports live records as base bytes; run-page slack, shadowed
+// duplicates, tombstones, fences, filters, and the memtable towers as
+// auxiliary bytes.
+func (t *Tree) Size() rum.SizeInfo {
+	pageBytes := uint64(0)
+	auxMeta := uint64(0)
+	for _, lv := range t.levels {
+		for _, r := range lv {
+			pageBytes += uint64(len(r.pages)) * uint64(t.pool.Device().PageSize())
+			auxMeta += uint64(len(r.fences)) * fenceSize
+			if r.filter != nil {
+				auxMeta += r.filter.SizeBytes()
+			}
+		}
+	}
+	memSize := t.mem.Size()
+	total := pageBytes + auxMeta + memSize.BaseBytes + memSize.AuxBytes
+	base := uint64(t.count) * core.RecordSize
+	if base > total {
+		base = total
+	}
+	return rum.SizeInfo{BaseBytes: base, AuxBytes: total - base}
+}
+
+// Flush drains the memtable into a run and writes all dirty pages.
+func (t *Tree) Flush() {
+	t.flushMemtable()
+	t.pool.FlushAll()
+}
+
+// Insert blind-writes the record into the memtable.
+func (t *Tree) Insert(k core.Key, v core.Value) error {
+	if v == Tombstone {
+		return fmt.Errorf("lsm: value %d is the reserved tombstone", v)
+	}
+	t.put(k, v)
+	t.count++
+	return nil
+}
+
+// Update blind-writes the new version; it returns true unconditionally (see
+// the package comment).
+func (t *Tree) Update(k core.Key, v core.Value) bool {
+	if v == Tombstone {
+		return false
+	}
+	t.put(k, v)
+	return true
+}
+
+// Delete blind-writes a tombstone; it returns true unconditionally (see the
+// package comment).
+func (t *Tree) Delete(k core.Key) bool {
+	t.put(k, Tombstone)
+	if t.count > 0 {
+		t.count--
+	}
+	return true
+}
+
+func (t *Tree) put(k core.Key, v core.Value) {
+	t.mem.Put(k, v)
+	if t.mem.Len() >= t.cfg.MemtableRecords {
+		t.flushMemtable()
+	}
+}
+
+// Get consults the memtable, then runs from newest to oldest, stopping at
+// the first version found. Bloom filters and fences prune runs before any
+// page is read.
+func (t *Tree) Get(k core.Key) (core.Value, bool) {
+	if v, ok := t.mem.Get(k); ok {
+		if v == Tombstone {
+			return 0, false
+		}
+		return v, true
+	}
+	for _, lv := range t.levels {
+		for i := len(lv) - 1; i >= 0; i-- { // newest run last
+			r := lv[i]
+			v, status := t.searchRun(r, k)
+			if status == foundValue {
+				return v, true
+			}
+			if status == foundTombstone {
+				return 0, false
+			}
+		}
+	}
+	return 0, false
+}
+
+type searchStatus int
+
+const (
+	notFound searchStatus = iota
+	foundValue
+	foundTombstone
+)
+
+func (t *Tree) searchRun(r *run, k core.Key) (core.Value, searchStatus) {
+	if r.count == 0 || k < r.first || k > r.last {
+		t.meter.CountRead(rum.Aux, 16) // min/max fence check
+		return 0, notFound
+	}
+	if r.filter != nil && !r.filter.MayContain(k) {
+		return 0, notFound
+	}
+	// Binary search the fences for the page that covers k.
+	probes := 0
+	pi := sort.Search(len(r.fences), func(i int) bool {
+		probes++
+		return r.fences[i] > k
+	}) - 1
+	t.meter.CountRead(rum.Aux, probes*fenceSize)
+	if pi < 0 {
+		pi = 0
+	}
+	f, err := t.pool.Fetch(r.pages[pi])
+	if err != nil {
+		return 0, notFound
+	}
+	defer t.pool.Release(f)
+	data := f.Data()
+	n := int(binary.LittleEndian.Uint32(data[0:4]))
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if binary.LittleEndian.Uint64(data[pageHeader+mid*core.RecordSize:]) < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < n {
+		off := pageHeader + lo*core.RecordSize
+		if binary.LittleEndian.Uint64(data[off:]) == k {
+			v := binary.LittleEndian.Uint64(data[off+8:])
+			if v == Tombstone {
+				return 0, foundTombstone
+			}
+			return v, foundValue
+		}
+	}
+	return 0, notFound
+}
+
+// perPage returns records per run page.
+func (t *Tree) perPage() int {
+	return (t.pool.Device().PageSize() - pageHeader) / core.RecordSize
+}
+
+// buildRun writes the sorted records into fresh pages and returns the run.
+func (t *Tree) buildRun(recs []core.Record) (*run, error) {
+	r := &run{count: len(recs)}
+	if len(recs) == 0 {
+		return r, nil
+	}
+	r.first = recs[0].Key
+	r.last = recs[len(recs)-1].Key
+	if t.cfg.BloomBitsPerKey > 0 {
+		r.filter = bloom.NewFilter(len(recs), t.cfg.BloomBitsPerKey, t.meter)
+	}
+	per := t.perPage()
+	for start := 0; start < len(recs); start += per {
+		end := start + per
+		if end > len(recs) {
+			end = len(recs)
+		}
+		f, err := t.pool.NewPage(rum.Base)
+		if err != nil {
+			return nil, err
+		}
+		data := f.Data()
+		binary.LittleEndian.PutUint32(data[0:4], uint32(end-start))
+		for j, rec := range recs[start:end] {
+			core.EncodeRecord(data[pageHeader+j*core.RecordSize:], rec)
+		}
+		f.MarkDirty()
+		r.pages = append(r.pages, f.ID())
+		r.fences = append(r.fences, recs[start].Key)
+		t.pool.Release(f)
+	}
+	if r.filter != nil {
+		for _, rec := range recs {
+			r.filter.Add(rec.Key)
+		}
+	}
+	t.stats.RunsBuilt++
+	return r, nil
+}
+
+// readRun reads every record of a run in order, charging page reads.
+func (t *Tree) readRun(r *run) ([]core.Record, error) {
+	recs := make([]core.Record, 0, r.count)
+	for _, pid := range r.pages {
+		f, err := t.pool.Fetch(pid)
+		if err != nil {
+			return nil, err
+		}
+		data := f.Data()
+		n := int(binary.LittleEndian.Uint32(data[0:4]))
+		for j := 0; j < n; j++ {
+			recs = append(recs, core.DecodeRecord(data[pageHeader+j*core.RecordSize:]))
+		}
+		t.pool.Release(f)
+	}
+	return recs, nil
+}
+
+func (t *Tree) freeRun(r *run) {
+	for _, pid := range r.pages {
+		_ = t.pool.FreePage(pid)
+	}
+}
+
+// mergeRecs merges sources ordered oldest to newest: the newest version of
+// each key wins. When dropTombs is true (merging into the bottom of the
+// tree) tombstones are discarded.
+func mergeRecs(sources [][]core.Record, dropTombs bool) []core.Record {
+	latest := make(map[core.Key]core.Value)
+	total := 0
+	for _, src := range sources {
+		total += len(src)
+		for _, rec := range src {
+			latest[rec.Key] = rec.Value
+		}
+	}
+	out := make([]core.Record, 0, len(latest))
+	for k, v := range latest {
+		if dropTombs && v == Tombstone {
+			continue
+		}
+		out = append(out, core.Record{Key: k, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// flushMemtable turns the memtable into a level-0 run and triggers
+// compaction as capacities overflow.
+func (t *Tree) flushMemtable() {
+	if t.mem.Len() == 0 {
+		return
+	}
+	recs := make([]core.Record, 0, t.mem.Len())
+	t.mem.Ascend(0, func(k core.Key, v core.Value) bool {
+		recs = append(recs, core.Record{Key: k, Value: v})
+		return true
+	})
+	// Draining the memtable reads it once.
+	t.meter.CountRead(rum.Base, len(recs)*core.RecordSize)
+	t.mem.Reset()
+	r, err := t.buildRun(recs)
+	if err != nil {
+		return
+	}
+	if len(t.levels) == 0 {
+		t.levels = append(t.levels, nil)
+	}
+	t.levels[0] = append(t.levels[0], r)
+	t.stats.Flushes++
+	t.compact()
+}
+
+// levelCapacityRuns is the run-count trigger per level: tiering compacts a
+// level once it accumulates T runs; leveling once it has more than one.
+func (t *Tree) levelCapacityRuns() int {
+	if t.cfg.Tiering {
+		return t.cfg.SizeRatio
+	}
+	return 1
+}
+
+// levelCapacityRecords is the record capacity of a leveled level i:
+// memtable · T^(i+1).
+func (t *Tree) levelCapacityRecords(i int) int {
+	c := float64(t.cfg.MemtableRecords) * math.Pow(float64(t.cfg.SizeRatio), float64(i+1))
+	if c > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int(c)
+}
+
+// compact restores the level invariants after a flush.
+func (t *Tree) compact() {
+	for i := 0; i < len(t.levels); i++ {
+		if !t.needsCompaction(i) {
+			continue
+		}
+		t.compactLevel(i)
+	}
+}
+
+func (t *Tree) needsCompaction(i int) bool {
+	lv := t.levels[i]
+	if len(lv) == 0 {
+		return false
+	}
+	if t.cfg.Tiering {
+		return len(lv) >= t.levelCapacityRuns()
+	}
+	// Leveling: multiple runs always merge; a single run spills when over
+	// capacity.
+	if len(lv) > 1 {
+		return true
+	}
+	return lv[0].count > t.levelCapacityRecords(i)
+}
+
+// readRuns drains the given runs (oldest first) into record sources.
+func (t *Tree) readRuns(runs []*run) ([][]core.Record, bool) {
+	sources := make([][]core.Record, 0, len(runs))
+	for _, r := range runs {
+		recs, err := t.readRun(r)
+		if err != nil {
+			return nil, false
+		}
+		sources = append(sources, recs)
+	}
+	return sources, true
+}
+
+// compactLevel restores level i's invariant. Under tiering, its runs merge
+// into one run appended to level i+1 (lazy: level i+1 keeps accumulating
+// runs). Under leveling, runs first consolidate within level i; once the
+// level exceeds its record capacity they merge with level i+1's run and the
+// result replaces it (eager: one run per level).
+func (t *Tree) compactLevel(i int) {
+	if t.cfg.Tiering {
+		sources, ok := t.readRuns(t.levels[i])
+		if !ok {
+			return
+		}
+		if i+1 >= len(t.levels) {
+			t.levels = append(t.levels, nil)
+		}
+		out, err := t.buildRun(mergeRecs(sources, t.isBottom(i+1)))
+		if err != nil {
+			return
+		}
+		for _, r := range t.levels[i] {
+			t.freeRun(r)
+		}
+		t.levels[i] = nil
+		t.levels[i+1] = append(t.levels[i+1], out)
+		t.stats.Compactions++
+		return
+	}
+
+	// Leveling.
+	total := 0
+	for _, r := range t.levels[i] {
+		total += r.count
+	}
+	if total <= t.levelCapacityRecords(i) {
+		// Consolidate within the level.
+		if len(t.levels[i]) <= 1 {
+			return
+		}
+		sources, ok := t.readRuns(t.levels[i])
+		if !ok {
+			return
+		}
+		out, err := t.buildRun(mergeRecs(sources, t.isBottom(i)))
+		if err != nil {
+			return
+		}
+		for _, r := range t.levels[i] {
+			t.freeRun(r)
+		}
+		t.levels[i] = []*run{out}
+		t.stats.Compactions++
+		return
+	}
+
+	// Spill into the next level.
+	if i+1 >= len(t.levels) {
+		t.levels = append(t.levels, nil)
+	}
+	victims := append(append([]*run(nil), t.levels[i+1]...), t.levels[i]...)
+	sources, ok := t.readRuns(victims)
+	if !ok {
+		return
+	}
+	out, err := t.buildRun(mergeRecs(sources, t.isBottom(i+1)))
+	if err != nil {
+		return
+	}
+	for _, r := range victims {
+		t.freeRun(r)
+	}
+	t.levels[i] = nil
+	t.levels[i+1] = []*run{out}
+	t.stats.Compactions++
+}
+
+// isBottom reports whether no level below i holds data.
+func (t *Tree) isBottom(i int) bool {
+	for j := i + 1; j < len(t.levels); j++ {
+		if len(t.levels[j]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// RangeScan merges the memtable and every overlapping run, emitting live
+// records in ascending key order.
+func (t *Tree) RangeScan(lo, hi core.Key, emit func(core.Key, core.Value) bool) int {
+	latest := make(map[core.Key]core.Value)
+	// Oldest to newest so newer versions overwrite.
+	for i := len(t.levels) - 1; i >= 0; i-- {
+		for _, r := range t.levels[i] {
+			t.scanRunInto(r, lo, hi, latest)
+		}
+	}
+	memScanned := 0
+	t.mem.Ascend(lo, func(k core.Key, v core.Value) bool {
+		if k > hi {
+			return false
+		}
+		memScanned++
+		latest[k] = v
+		return true
+	})
+	t.meter.CountRead(rum.Base, memScanned*core.RecordSize)
+
+	keys := make([]core.Key, 0, len(latest))
+	for k, v := range latest {
+		if v == Tombstone {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	emitted := 0
+	for _, k := range keys {
+		emitted++
+		if !emit(k, latest[k]) {
+			break
+		}
+	}
+	return emitted
+}
+
+// scanRunInto reads the pages of r overlapping [lo, hi] and merges their
+// records into latest.
+func (t *Tree) scanRunInto(r *run, lo, hi core.Key, latest map[core.Key]core.Value) {
+	if r.count == 0 || hi < r.first || lo > r.last {
+		t.meter.CountRead(rum.Aux, 16)
+		return
+	}
+	start := sort.Search(len(r.fences), func(i int) bool { return r.fences[i] > lo }) - 1
+	if start < 0 {
+		start = 0
+	}
+	t.meter.CountRead(rum.Aux, 16) // fence probe, flat charge
+	for pi := start; pi < len(r.pages); pi++ {
+		if pi > start && r.fences[pi] > hi {
+			break
+		}
+		f, err := t.pool.Fetch(r.pages[pi])
+		if err != nil {
+			return
+		}
+		data := f.Data()
+		n := int(binary.LittleEndian.Uint32(data[0:4]))
+		for j := 0; j < n; j++ {
+			rec := core.DecodeRecord(data[pageHeader+j*core.RecordSize:])
+			if rec.Key >= lo && rec.Key <= hi {
+				latest[rec.Key] = rec.Value
+			}
+		}
+		t.pool.Release(f)
+	}
+}
+
+// BulkLoad replaces the contents with the key-sorted recs as a single
+// bottom-level run.
+func (t *Tree) BulkLoad(recs []core.Record) error {
+	t.mem.Reset()
+	for _, lv := range t.levels {
+		for _, r := range lv {
+			t.freeRun(r)
+		}
+	}
+	t.levels = nil
+	t.count = 0
+	// Place the run at the level whose capacity fits it.
+	lvl := 0
+	for t.levelCapacityRecords(lvl) < len(recs) {
+		lvl++
+	}
+	r, err := t.buildRun(recs)
+	if err != nil {
+		return err
+	}
+	t.levels = make([][]*run, lvl+1)
+	t.levels[lvl] = []*run{r}
+	t.count = len(recs)
+	return nil
+}
+
+// Knobs exposes the tunable parameters (core.Tunable).
+func (t *Tree) Knobs() []core.Knob {
+	tier := 0.0
+	if t.cfg.Tiering {
+		tier = 1
+	}
+	return []core.Knob{
+		{
+			Name: "size_ratio", Min: 2, Max: 32, Current: float64(t.cfg.SizeRatio),
+			Doc: "level size ratio T; larger = fewer levels (lower RO) but bigger merges (higher UO under leveling)",
+		},
+		{
+			Name: "bloom_bits", Min: 0, Max: 20, Current: t.cfg.BloomBitsPerKey,
+			Doc: "bloom bits per key per run; more bits = fewer wasted run probes (lower RO) at more memory (higher MO)",
+		},
+		{
+			Name: "memtable_records", Min: 64, Max: 1 << 20, Current: float64(t.cfg.MemtableRecords),
+			Doc: "memtable flush threshold; larger = fewer flushes (lower UO) at more buffered memory (higher MO)",
+		},
+		{
+			Name: "tiering", Min: 0, Max: 1, Current: tier,
+			Doc: "1 = tiering (write-optimized: lazy merges, more runs), 0 = leveling (read-optimized: eager merges, one run per level)",
+		},
+	}
+}
+
+// SetKnob adjusts a tuning parameter (core.Tunable); it takes effect on
+// subsequent flushes and compactions.
+func (t *Tree) SetKnob(name string, value float64) error {
+	switch name {
+	case "size_ratio":
+		if value < 2 {
+			return fmt.Errorf("lsm: size_ratio must be >= 2")
+		}
+		t.cfg.SizeRatio = int(value)
+	case "bloom_bits":
+		if value < 0 {
+			return fmt.Errorf("lsm: bloom_bits must be >= 0")
+		}
+		t.cfg.BloomBitsPerKey = value
+	case "memtable_records":
+		if value < 1 {
+			return fmt.Errorf("lsm: memtable_records must be >= 1")
+		}
+		t.cfg.MemtableRecords = int(value)
+	case "tiering":
+		t.cfg.Tiering = value >= 0.5
+	default:
+		return fmt.Errorf("lsm: unknown knob %q", name)
+	}
+	return nil
+}

@@ -1,0 +1,233 @@
+// Package methods is the catalog of every access method in the repository,
+// constructed with standard configurations and wrapped in core.Instrument so
+// their RUM overheads are measured identically. The experiment harness
+// (internal/bench), the binaries (cmd/...), and the examples all build
+// structures through this package.
+package methods
+
+import (
+	"fmt"
+
+	"repro/internal/approx"
+	"repro/internal/bitmap"
+	"repro/internal/btree"
+	"repro/internal/column"
+	"repro/internal/core"
+	"repro/internal/cracking"
+	"repro/internal/hashindex"
+	"repro/internal/lsm"
+	"repro/internal/pbt"
+	"repro/internal/rum"
+	"repro/internal/skiplist"
+	"repro/internal/storage"
+	"repro/internal/trie"
+	"repro/internal/workload"
+	"repro/internal/zonemap"
+)
+
+// Options configures the simulated substrate under page-based structures.
+type Options struct {
+	// PageSize in bytes (default 4096).
+	PageSize int
+	// PoolPages is the buffer pool capacity — the MEM parameter of Table 1
+	// (default 64).
+	PoolPages int
+	// Medium is the simulated storage technology (default SSD).
+	Medium storage.Medium
+}
+
+func (o *Options) defaults() {
+	if o.PageSize <= 0 {
+		o.PageSize = 4096
+	}
+	if o.PoolPages <= 0 {
+		o.PoolPages = 64
+	}
+}
+
+// NewPool builds a device + buffer pool reporting to meter.
+func NewPool(opt Options, meter *rum.Meter) *storage.BufferPool {
+	opt.defaults()
+	dev := storage.NewDevice(opt.PageSize, opt.Medium, meter)
+	return storage.NewBufferPool(dev, opt.PoolPages)
+}
+
+// NewBTree builds an instrumented B+-tree.
+func NewBTree(opt Options, cfg btree.Config) *core.Instrumented {
+	t, err := btree.New(NewPool(opt, nil), cfg)
+	if err != nil {
+		panic(fmt.Sprintf("methods: btree: %v", err))
+	}
+	return core.Instrument(t)
+}
+
+// NewHash builds an instrumented hash index.
+func NewHash(opt Options, cfg hashindex.Config) *core.Instrumented {
+	x, err := hashindex.New(NewPool(opt, nil), cfg)
+	if err != nil {
+		panic(fmt.Sprintf("methods: hash: %v", err))
+	}
+	return core.Instrument(x)
+}
+
+// NewLSM builds an instrumented LSM tree.
+func NewLSM(opt Options, cfg lsm.Config) *core.Instrumented {
+	return core.Instrument(lsm.New(NewPool(opt, nil), cfg))
+}
+
+// NewSkiplist builds an instrumented skip list.
+func NewSkiplist() *core.Instrumented {
+	return core.Instrument(skiplist.New(1, 0.5, nil))
+}
+
+// NewTrie builds an instrumented radix trie.
+func NewTrie(stride uint) *core.Instrumented {
+	t, err := trie.New(stride, nil)
+	if err != nil {
+		panic(fmt.Sprintf("methods: trie: %v", err))
+	}
+	return core.Instrument(t)
+}
+
+// NewZoneMap builds an instrumented zone-mapped store.
+func NewZoneMap(partition int) *core.Instrumented {
+	return core.Instrument(zonemap.New(partition, nil))
+}
+
+// NewSortedColumn builds an instrumented sorted column.
+func NewSortedColumn() *core.Instrumented {
+	return core.Instrument(column.NewSorted(nil))
+}
+
+// NewUnsortedColumn builds an instrumented unsorted column.
+func NewUnsortedColumn() *core.Instrumented {
+	return core.Instrument(column.NewUnsorted(nil))
+}
+
+// NewCracking builds an instrumented cracked store.
+func NewCracking(mergeThreshold int) *core.Instrumented {
+	return core.Instrument(cracking.New(mergeThreshold, nil))
+}
+
+// NewPBT builds an instrumented partitioned B-tree.
+func NewPBT(opt Options, cfg pbt.Config) *core.Instrumented {
+	t, err := pbt.New(NewPool(opt, nil), cfg)
+	if err != nil {
+		panic(fmt.Sprintf("methods: pbt: %v", err))
+	}
+	return core.Instrument(t)
+}
+
+// NewApprox builds an instrumented approximate (quotient-filter) index.
+func NewApprox(cfg approx.Config) *core.Instrumented {
+	return core.Instrument(approx.New(cfg, nil))
+}
+
+// NewBitmap builds an instrumented bitmap index store.
+func NewBitmap(cfg bitmap.Config) *core.Instrumented {
+	return core.Instrument(bitmap.New(cfg, nil))
+}
+
+// Spec names a catalog entry and builds a fresh instance of it.
+type Spec struct {
+	Name   string
+	Corner rum.Corner // the Figure-1 region the structure is expected in
+	New    func() *core.Instrumented
+}
+
+// Catalog returns every access method in its standard configuration — the
+// cast of Figure 1.
+func Catalog(opt Options) []Spec {
+	opt.defaults()
+	return []Spec{
+		{Name: "btree", Corner: rum.ReadOptimized, New: func() *core.Instrumented {
+			return NewBTree(opt, btree.Config{})
+		}},
+		{Name: "hash", Corner: rum.ReadOptimized, New: func() *core.Instrumented {
+			return NewHash(opt, hashindex.Config{})
+		}},
+		{Name: "skiplist", Corner: rum.ReadOptimized, New: func() *core.Instrumented {
+			return NewSkiplist()
+		}},
+		{Name: "trie", Corner: rum.ReadOptimized, New: func() *core.Instrumented {
+			return NewTrie(8)
+		}},
+		// The catalog LSMs carry no Bloom filters: Figure 1 plots the plain
+		// LSM-tree; per-run filters are the Section-5 enhancement whose RUM
+		// effect Figure 3 sweeps explicitly.
+		{Name: "lsm-level", Corner: rum.WriteOptimized, New: func() *core.Instrumented {
+			return NewLSM(opt, lsm.Config{MemtableRecords: 1024, SizeRatio: 10})
+		}},
+		{Name: "lsm-tier", Corner: rum.WriteOptimized, New: func() *core.Instrumented {
+			return NewLSM(opt, lsm.Config{MemtableRecords: 1024, SizeRatio: 10, Tiering: true})
+		}},
+		{Name: "zonemap", Corner: rum.SpaceOptimized, New: func() *core.Instrumented {
+			return NewZoneMap(256)
+		}},
+		{Name: "bitmap", Corner: rum.SpaceOptimized, New: func() *core.Instrumented {
+			return NewBitmap(bitmap.Config{Cardinality: 16, MergeThreshold: 64})
+		}},
+		{Name: "sorted-column", Corner: rum.SpaceOptimized, New: func() *core.Instrumented {
+			return NewSortedColumn()
+		}},
+		{Name: "unsorted-column", Corner: rum.SpaceOptimized, New: func() *core.Instrumented {
+			return NewUnsortedColumn()
+		}},
+		{Name: "cracking", Corner: rum.Balanced, New: func() *core.Instrumented {
+			return NewCracking(1 << 16)
+		}},
+	}
+}
+
+// Lookup returns the catalog entry with the given name.
+func Lookup(opt Options, name string) (Spec, error) {
+	for _, s := range Catalog(opt) {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("methods: unknown access method %q", name)
+}
+
+// Flavors returns the shape set for the morphing engine (core.Morphing):
+// a read-optimized B+-tree, a write-optimized LSM, and a space-optimized
+// zone map, with mix-fitness scores steering the engine between them.
+func Flavors(opt Options) []core.Flavor {
+	opt.defaults()
+	poolFor := func(meter *rum.Meter) *storage.BufferPool {
+		return NewPool(opt, meter)
+	}
+	return []core.Flavor{
+		{
+			Name: "btree",
+			New: func(meter *rum.Meter) core.AccessMethod {
+				t, err := btree.New(poolFor(meter), btree.Config{})
+				if err != nil {
+					panic(err)
+				}
+				return t
+			},
+			Score: func(m workload.Mix) float64 {
+				return m.Get + 1.2*m.Range - 0.5*(m.Insert+m.Update+m.Delete)
+			},
+		},
+		{
+			Name: "lsm",
+			New: func(meter *rum.Meter) core.AccessMethod {
+				return lsm.New(poolFor(meter), lsm.Config{MemtableRecords: 1024, SizeRatio: 8, BloomBitsPerKey: 10})
+			},
+			Score: func(m workload.Mix) float64 {
+				return 1.5*(m.Insert+m.Update+m.Delete) + 0.3*m.Get
+			},
+		},
+		{
+			Name: "zonemap",
+			New: func(meter *rum.Meter) core.AccessMethod {
+				return zonemap.New(256, meter)
+			},
+			Score: func(m workload.Mix) float64 {
+				return 1.5*m.Range + 0.2*m.Insert
+			},
+		},
+	}
+}

@@ -1,0 +1,87 @@
+package rum
+
+import "math"
+
+// Weights is a barycentric position in the RUM triangle: (read, write,
+// space) affinities in [0,1] summing to 1.
+type Weights [3]float64
+
+// XY maps barycentric weights to the 2-D triangle coordinates used by the
+// renderers: Read at (0.5, 1), Write at (0, 0), Space at (1, 0).
+func (w Weights) XY() (x, y float64) {
+	return w[0]*0.5 + w[2], w[0]
+}
+
+// Classify returns the corner with the dominant weight, or Balanced when no
+// weight exceeds the others by more than tol.
+func (w Weights) Classify(tol float64) Corner {
+	switch {
+	case w[0] > w[1]+tol && w[0] > w[2]+tol:
+		return ReadOptimized
+	case w[1] > w[0]+tol && w[1] > w[2]+tol:
+		return WriteOptimized
+	case w[2] > w[0]+tol && w[2] > w[1]+tol:
+		return SpaceOptimized
+	default:
+		return Balanced
+	}
+}
+
+// RelativeWeights positions each point in the triangle *relative to the
+// cohort*, the way Figure 1 of the paper compares structures to each other
+// rather than to the theoretical optimum of 1.0. Affinity in each dimension
+// is the rank percentile of the point's amplification within the cohort
+// (best amplification → 1, worst → 0; ties share their mean percentile),
+// which is robust to the cohort's extreme outliers; the three affinities are
+// then normalized to barycentric weights.
+func RelativeWeights(points []Point) []Weights {
+	n := len(points)
+	if n == 0 {
+		return nil
+	}
+	get := func(p Point, d int) float64 {
+		switch d {
+		case 0:
+			return cost(p.R)
+		case 1:
+			return cost(p.U)
+		default:
+			return cost(p.M)
+		}
+	}
+	out := make([]Weights, n)
+	for d := 0; d < 3; d++ {
+		for i, p := range points {
+			ci := get(p, d)
+			below, equal := 0, 0
+			for _, q := range points {
+				cq := get(q, d)
+				switch {
+				case cq < ci-1e-12:
+					below++
+				case math.Abs(cq-ci) <= 1e-12:
+					equal++
+				}
+			}
+			// Mean rank of the tie group, converted to a percentile where
+			// lower amplification is better.
+			rank := float64(below) + float64(equal-1)/2
+			if n == 1 {
+				out[i][d] = 0.5
+			} else {
+				out[i][d] = 1 - rank/float64(n-1)
+			}
+		}
+	}
+	for i := range out {
+		sum := out[i][0] + out[i][1] + out[i][2]
+		if sum <= 0 {
+			out[i] = Weights{1.0 / 3, 1.0 / 3, 1.0 / 3}
+			continue
+		}
+		out[i][0] /= sum
+		out[i][1] /= sum
+		out[i][2] /= sum
+	}
+	return out
+}

@@ -1,0 +1,200 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+
+	"repro/internal/rum"
+)
+
+// PoolStats aggregates buffer pool behaviour.
+type PoolStats struct {
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	WriteBacks uint64
+	Overflows  uint64 // frames allocated beyond capacity because all were pinned
+}
+
+// HitRatio returns hits / (hits+misses), or 0 for an untouched pool.
+func (s PoolStats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Frame is a pinned page held in the buffer pool. Callers must Release every
+// frame they Fetch or create; the data slice is only valid while pinned.
+type Frame struct {
+	id    PageID
+	data  []byte
+	dirty bool
+	pins  int
+	elem  *list.Element
+}
+
+// ID returns the page this frame caches.
+func (f *Frame) ID() PageID { return f.id }
+
+// Data returns the frame's page buffer. Mutating it requires MarkDirty.
+func (f *Frame) Data() []byte { return f.data }
+
+// MarkDirty records that the frame's contents diverge from the device and
+// must be written back on eviction or flush.
+func (f *Frame) MarkDirty() { f.dirty = true }
+
+// BufferPool caches device pages with LRU replacement. It models the MEM
+// parameter of Table 1: a structure whose working set fits in the pool pays
+// no device traffic after warm-up, one that does not pays per page. The pool
+// is not safe for concurrent use.
+type BufferPool struct {
+	dev      *Device
+	capacity int
+	frames   map[PageID]*Frame
+	lru      *list.List // front = most recently used; holds *Frame
+	stats    PoolStats
+}
+
+// NewBufferPool creates a pool of capacity pages over dev. Capacity must be
+// at least 1.
+func NewBufferPool(dev *Device, capacity int) *BufferPool {
+	if capacity < 1 {
+		panic("storage: buffer pool capacity must be >= 1")
+	}
+	return &BufferPool{
+		dev:      dev,
+		capacity: capacity,
+		frames:   make(map[PageID]*Frame, capacity),
+		lru:      list.New(),
+	}
+}
+
+// Device returns the underlying device.
+func (p *BufferPool) Device() *Device { return p.dev }
+
+// Capacity returns the pool capacity in pages.
+func (p *BufferPool) Capacity() int { return p.capacity }
+
+// Stats returns a copy of the pool counters.
+func (p *BufferPool) Stats() PoolStats { return p.stats }
+
+// Len returns the number of frames currently cached.
+func (p *BufferPool) Len() int { return len(p.frames) }
+
+// Fetch pins the frame for page id, reading it from the device on a miss.
+func (p *BufferPool) Fetch(id PageID) (*Frame, error) {
+	if f, ok := p.frames[id]; ok {
+		p.stats.Hits++
+		f.pins++
+		p.lru.MoveToFront(f.elem)
+		return f, nil
+	}
+	p.stats.Misses++
+	src, err := p.dev.Read(id)
+	if err != nil {
+		return nil, err
+	}
+	f := p.install(id)
+	copy(f.data, src)
+	return f, nil
+}
+
+// NewPage allocates a fresh zeroed page of class c on the device and returns
+// it pinned and dirty, without any device read (a blind write).
+func (p *BufferPool) NewPage(c rum.Class) (*Frame, error) {
+	id := p.dev.Alloc(c)
+	f := p.install(id)
+	f.dirty = true
+	return f, nil
+}
+
+// install makes room if needed and registers a new pinned frame for id.
+func (p *BufferPool) install(id PageID) *Frame {
+	if len(p.frames) >= p.capacity {
+		if !p.evictOne() {
+			p.stats.Overflows++
+		}
+	}
+	f := &Frame{id: id, data: make([]byte, p.dev.PageSize()), pins: 1}
+	f.elem = p.lru.PushFront(f)
+	p.frames[id] = f
+	return f
+}
+
+// evictOne removes the least recently used unpinned frame, flushing it if
+// dirty. It reports whether a victim was found.
+func (p *BufferPool) evictOne() bool {
+	for e := p.lru.Back(); e != nil; e = e.Prev() {
+		f := e.Value.(*Frame)
+		if f.pins > 0 {
+			continue
+		}
+		if f.dirty {
+			p.flushFrame(f)
+		}
+		p.lru.Remove(e)
+		delete(p.frames, f.id)
+		p.stats.Evictions++
+		return true
+	}
+	return false
+}
+
+func (p *BufferPool) flushFrame(f *Frame) {
+	dst, err := p.dev.WriteInPlace(f.id)
+	if err != nil {
+		// The page was freed while cached; drop the contents.
+		f.dirty = false
+		return
+	}
+	copy(dst, f.data)
+	f.dirty = false
+	p.stats.WriteBacks++
+}
+
+// Release unpins a frame previously returned by Fetch or NewPage.
+func (p *BufferPool) Release(f *Frame) {
+	if f.pins <= 0 {
+		panic(fmt.Sprintf("storage: release of unpinned frame %d", f.id))
+	}
+	f.pins--
+}
+
+// FreePage drops any cached frame for id without write-back and frees the
+// page on the device. The frame must not be pinned.
+func (p *BufferPool) FreePage(id PageID) error {
+	if f, ok := p.frames[id]; ok {
+		if f.pins > 0 {
+			return fmt.Errorf("storage: freeing pinned page %d", id)
+		}
+		p.lru.Remove(f.elem)
+		delete(p.frames, id)
+	}
+	return p.dev.Free(id)
+}
+
+// FlushAll writes back every dirty frame, leaving them cached and clean.
+func (p *BufferPool) FlushAll() {
+	for _, f := range p.frames {
+		if f.dirty {
+			p.flushFrame(f)
+		}
+	}
+}
+
+// DropAll flushes and then discards every unpinned frame, emptying the cache.
+func (p *BufferPool) DropAll() {
+	p.FlushAll()
+	var next *list.Element
+	for e := p.lru.Front(); e != nil; e = next {
+		next = e.Next()
+		f := e.Value.(*Frame)
+		if f.pins > 0 {
+			continue
+		}
+		p.lru.Remove(e)
+		delete(p.frames, f.id)
+	}
+}

@@ -1,0 +1,296 @@
+// Package storage simulates the block storage substrate that the paper's
+// cost model (the Aggarwal–Vitter I/O model used in Table 1) assumes: data
+// lives in fixed-size pages, every access moves whole pages, and the cost of
+// an operation is the number of pages it touches, weighted by the medium.
+//
+// A Device counts page reads and writes and feeds them into a rum.Meter so
+// that read and write amplification of page-based access methods fall out of
+// the accounting automatically. A BufferPool models the MEM parameter of
+// Table 1: pages cached in the pool are served without device traffic.
+package storage
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/rum"
+)
+
+// PageID identifies a page on a Device. Zero is a valid page.
+type PageID uint32
+
+// InvalidPage is a sentinel PageID used for "no page".
+const InvalidPage = PageID(^uint32(0))
+
+// Medium describes the simulated storage technology. It sets relative access
+// costs, used to produce the paper's observation that different hardware
+// shifts RUM priorities (flash penalizes writes, disk penalizes random reads).
+type Medium int
+
+const (
+	// RAM has symmetric, cheap accesses.
+	RAM Medium = iota
+	// SSD reads cheaply but pays a write penalty (flash asymmetry, §2).
+	SSD
+	// HDD pays a large cost on every page access (seek-dominated).
+	HDD
+	// SMR models shingled disks: HDD reads, very expensive random writes.
+	SMR
+)
+
+// String names the medium.
+func (m Medium) String() string {
+	switch m {
+	case RAM:
+		return "ram"
+	case SSD:
+		return "ssd"
+	case HDD:
+		return "hdd"
+	case SMR:
+		return "smr"
+	default:
+		return fmt.Sprintf("medium(%d)", int(m))
+	}
+}
+
+// costs returns (readCost, writeCost) per page in abstract time units.
+func (m Medium) costs() (read, write uint64) {
+	switch m {
+	case RAM:
+		return 1, 1
+	case SSD:
+		return 4, 20
+	case HDD:
+		return 100, 100
+	case SMR:
+		return 100, 400
+	default:
+		return 1, 1
+	}
+}
+
+// DeviceStats aggregates the traffic a Device has served.
+type DeviceStats struct {
+	PageReads      uint64
+	PageWrites     uint64
+	PagesAllocated uint64
+	PagesFreed     uint64
+	CostUnits      uint64 // medium-weighted access cost
+}
+
+// Errors returned by Device operations.
+var (
+	ErrBadPage  = errors.New("storage: invalid page id")
+	ErrFreed    = errors.New("storage: page already freed")
+	ErrInjected = errors.New("storage: injected fault")
+)
+
+// FaultPlan injects deterministic I/O failures for resilience tests: after
+// the countdown reaches zero, every Nth matching operation fails with
+// ErrInjected.
+type FaultPlan struct {
+	// FailReadAfter fails page reads once this many have succeeded
+	// (0 disables).
+	FailReadAfter uint64
+	// FailWriteAfter fails page writes once this many have succeeded
+	// (0 disables).
+	FailWriteAfter uint64
+}
+
+// Device is a simulated page-granular storage device. It is the single point
+// through which page-based access methods touch data, so its counters are the
+// ground truth for read and write amplification. Device is not safe for
+// concurrent use.
+type Device struct {
+	pageSize  int
+	medium    Medium
+	pages     [][]byte
+	class     []rum.Class
+	live      []bool
+	freeList  []PageID
+	stats     DeviceStats
+	meter     *rum.Meter
+	readCost  uint64
+	writeCost uint64
+	faults    *FaultPlan
+}
+
+// NewDevice creates a device with the given page size and medium, feeding its
+// traffic into meter. A nil meter is replaced with a private one.
+func NewDevice(pageSize int, medium Medium, meter *rum.Meter) *Device {
+	if pageSize <= 0 {
+		panic("storage: page size must be positive")
+	}
+	if meter == nil {
+		meter = &rum.Meter{}
+	}
+	r, w := medium.costs()
+	return &Device{
+		pageSize:  pageSize,
+		medium:    medium,
+		meter:     meter,
+		readCost:  r,
+		writeCost: w,
+	}
+}
+
+// InjectFaults arms (or, with nil, disarms) deterministic I/O failures.
+func (d *Device) InjectFaults(plan *FaultPlan) { d.faults = plan }
+
+// faultRead reports whether this read should fail, consuming the budget.
+func (d *Device) faultRead() bool {
+	if d.faults == nil || d.faults.FailReadAfter == 0 {
+		return false
+	}
+	d.faults.FailReadAfter--
+	return d.faults.FailReadAfter == 0
+}
+
+func (d *Device) faultWrite() bool {
+	if d.faults == nil || d.faults.FailWriteAfter == 0 {
+		return false
+	}
+	d.faults.FailWriteAfter--
+	return d.faults.FailWriteAfter == 0
+}
+
+// PageSize returns the device page size in bytes.
+func (d *Device) PageSize() int { return d.pageSize }
+
+// Medium returns the simulated storage technology.
+func (d *Device) Medium() Medium { return d.medium }
+
+// Meter returns the rum.Meter the device reports traffic to.
+func (d *Device) Meter() *rum.Meter { return d.meter }
+
+// Stats returns a copy of the device traffic counters.
+func (d *Device) Stats() DeviceStats { return d.stats }
+
+// ResetStats zeroes the traffic counters (allocation counts are kept, since
+// they describe current occupancy rather than traffic).
+func (d *Device) ResetStats() {
+	d.stats.PageReads = 0
+	d.stats.PageWrites = 0
+	d.stats.CostUnits = 0
+}
+
+// LivePages returns the number of currently allocated pages.
+func (d *Device) LivePages() int {
+	return int(d.stats.PagesAllocated - d.stats.PagesFreed)
+}
+
+// LiveBytes returns SizeInfo for the currently allocated pages, split by the
+// rum.Class they were allocated under.
+func (d *Device) LiveBytes() rum.SizeInfo {
+	var s rum.SizeInfo
+	for id, alive := range d.live {
+		if !alive {
+			continue
+		}
+		if d.class[id] == rum.Base {
+			s.BaseBytes += uint64(d.pageSize)
+		} else {
+			s.AuxBytes += uint64(d.pageSize)
+		}
+	}
+	return s
+}
+
+// Alloc allocates a zeroed page of the given data class and returns its id.
+func (d *Device) Alloc(c rum.Class) PageID {
+	d.stats.PagesAllocated++
+	if n := len(d.freeList); n > 0 {
+		id := d.freeList[n-1]
+		d.freeList = d.freeList[:n-1]
+		clear(d.pages[id])
+		d.class[id] = c
+		d.live[id] = true
+		return id
+	}
+	id := PageID(len(d.pages))
+	d.pages = append(d.pages, make([]byte, d.pageSize))
+	d.class = append(d.class, c)
+	d.live = append(d.live, true)
+	return id
+}
+
+// Free releases a page back to the device.
+func (d *Device) Free(id PageID) error {
+	if err := d.check(id); err != nil {
+		return err
+	}
+	d.live[id] = false
+	d.freeList = append(d.freeList, id)
+	d.stats.PagesFreed++
+	return nil
+}
+
+func (d *Device) check(id PageID) error {
+	if int(id) >= len(d.pages) {
+		return fmt.Errorf("%w: %d", ErrBadPage, id)
+	}
+	if !d.live[id] {
+		return fmt.Errorf("%w: %d", ErrFreed, id)
+	}
+	return nil
+}
+
+// Read returns the contents of a page, counting one page read. The returned
+// slice aliases device memory; callers must copy it if they intend to keep it
+// across a Write to the same page.
+func (d *Device) Read(id PageID) ([]byte, error) {
+	if err := d.check(id); err != nil {
+		return nil, err
+	}
+	if d.faultRead() {
+		return nil, fmt.Errorf("%w: read of page %d", ErrInjected, id)
+	}
+	d.stats.PageReads++
+	d.stats.CostUnits += d.readCost
+	d.meter.CountRead(d.class[id], d.pageSize)
+	return d.pages[id], nil
+}
+
+// Write replaces the contents of a page, counting one page write. data must
+// be exactly one page long.
+func (d *Device) Write(id PageID, data []byte) error {
+	if err := d.check(id); err != nil {
+		return err
+	}
+	if len(data) != d.pageSize {
+		return fmt.Errorf("storage: write of %d bytes to page of %d", len(data), d.pageSize)
+	}
+	if d.faultWrite() {
+		return fmt.Errorf("%w: write of page %d", ErrInjected, id)
+	}
+	d.stats.PageWrites++
+	d.stats.CostUnits += d.writeCost
+	d.meter.CountWrite(d.class[id], d.pageSize)
+	copy(d.pages[id], data)
+	return nil
+}
+
+// WriteInPlace counts a page write and returns the page buffer for the caller
+// to mutate directly, avoiding a copy. It is the fast path used by the buffer
+// pool when flushing dirty frames it already owns.
+func (d *Device) WriteInPlace(id PageID) ([]byte, error) {
+	if err := d.check(id); err != nil {
+		return nil, err
+	}
+	if d.faultWrite() {
+		return nil, fmt.Errorf("%w: write of page %d", ErrInjected, id)
+	}
+	d.stats.PageWrites++
+	d.stats.CostUnits += d.writeCost
+	d.meter.CountWrite(d.class[id], d.pageSize)
+	return d.pages[id], nil
+}
+
+// Class returns the data class a page was allocated under.
+func (d *Device) Class(id PageID) rum.Class {
+	if int(id) >= len(d.class) {
+		return rum.Aux
+	}
+	return d.class[id]
+}

@@ -1,0 +1,351 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rum"
+)
+
+func TestDeviceAllocReadWrite(t *testing.T) {
+	meter := &rum.Meter{}
+	d := NewDevice(128, SSD, meter)
+	id := d.Alloc(rum.Base)
+
+	page, err := d.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range page {
+		if b != 0 {
+			t.Fatal("fresh page not zeroed")
+		}
+	}
+	data := bytes.Repeat([]byte{0xAB}, 128)
+	if err := d.Write(id, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read back mismatch")
+	}
+	if meter.BaseRead != 256 || meter.BaseWritten != 128 {
+		t.Fatalf("meter: read=%d written=%d", meter.BaseRead, meter.BaseWritten)
+	}
+	st := d.Stats()
+	if st.PageReads != 2 || st.PageWrites != 1 || st.PagesAllocated != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestDeviceClassAccounting(t *testing.T) {
+	meter := &rum.Meter{}
+	d := NewDevice(64, RAM, meter)
+	base := d.Alloc(rum.Base)
+	aux := d.Alloc(rum.Aux)
+	if _, err := d.Read(base); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Read(aux); err != nil {
+		t.Fatal(err)
+	}
+	if meter.BaseRead != 64 || meter.AuxRead != 64 {
+		t.Fatalf("class split: base=%d aux=%d", meter.BaseRead, meter.AuxRead)
+	}
+	live := d.LiveBytes()
+	if live.BaseBytes != 64 || live.AuxBytes != 64 {
+		t.Fatalf("live bytes: %+v", live)
+	}
+	if d.Class(base) != rum.Base || d.Class(aux) != rum.Aux {
+		t.Fatal("class lookup")
+	}
+}
+
+func TestDeviceFreeAndReuse(t *testing.T) {
+	d := NewDevice(64, RAM, nil)
+	a := d.Alloc(rum.Base)
+	if err := d.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Read(a); !errors.Is(err, ErrFreed) {
+		t.Fatalf("read after free: %v", err)
+	}
+	if err := d.Free(a); !errors.Is(err, ErrFreed) {
+		t.Fatalf("double free: %v", err)
+	}
+	b := d.Alloc(rum.Aux)
+	if b != a {
+		t.Fatalf("freed page not reused: got %d want %d", b, a)
+	}
+	page, err := d.Read(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, by := range page {
+		if by != 0 {
+			t.Fatal("reused page not zeroed")
+		}
+	}
+	if d.LivePages() != 1 {
+		t.Fatalf("live pages %d", d.LivePages())
+	}
+}
+
+func TestDeviceErrors(t *testing.T) {
+	d := NewDevice(64, RAM, nil)
+	if _, err := d.Read(99); !errors.Is(err, ErrBadPage) {
+		t.Fatalf("bad page read: %v", err)
+	}
+	id := d.Alloc(rum.Base)
+	if err := d.Write(id, make([]byte, 10)); err == nil {
+		t.Fatal("short write accepted")
+	}
+}
+
+func TestMediumCosts(t *testing.T) {
+	for _, m := range []Medium{RAM, SSD, HDD, SMR} {
+		if m.String() == "" {
+			t.Fatal("empty medium name")
+		}
+		r, w := m.costs()
+		if r == 0 || w == 0 {
+			t.Fatalf("%v: zero cost", m)
+		}
+	}
+	// Flash asymmetry: SSD writes cost more than reads; SMR worse still.
+	if r, w := SSD.costs(); w <= r {
+		t.Fatal("SSD write should cost more than read")
+	}
+	if _, w := SMR.costs(); w <= 100 {
+		t.Fatal("SMR writes should be punitive")
+	}
+	d := NewDevice(64, HDD, nil)
+	id := d.Alloc(rum.Base)
+	if _, err := d.Read(id); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().CostUnits != 100 {
+		t.Fatalf("HDD read cost: %d", d.Stats().CostUnits)
+	}
+}
+
+func TestBufferPoolHitMiss(t *testing.T) {
+	d := NewDevice(64, RAM, nil)
+	p := NewBufferPool(d, 2)
+	a := d.Alloc(rum.Base)
+	b := d.Alloc(rum.Base)
+	c := d.Alloc(rum.Base)
+
+	f, err := p.Fetch(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release(f)
+	f, err = p.Fetch(a) // hit
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release(f)
+	if st := p.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+
+	// Fill and evict: a is LRU after touching b.
+	f, _ = p.Fetch(b)
+	p.Release(f)
+	f, _ = p.Fetch(c) // evicts a
+	p.Release(f)
+	if p.Len() != 2 {
+		t.Fatalf("len %d", p.Len())
+	}
+	before := d.Stats().PageReads
+	f, _ = p.Fetch(a) // must go to the device again
+	p.Release(f)
+	if d.Stats().PageReads != before+1 {
+		t.Fatal("evicted page served without device read")
+	}
+	if p.Stats().Evictions == 0 {
+		t.Fatal("no evictions recorded")
+	}
+}
+
+func TestBufferPoolWriteBack(t *testing.T) {
+	d := NewDevice(64, RAM, nil)
+	p := NewBufferPool(d, 1)
+	a := d.Alloc(rum.Base)
+
+	f, _ := p.Fetch(a)
+	copy(f.Data(), bytes.Repeat([]byte{7}, 64))
+	f.MarkDirty()
+	p.Release(f)
+
+	// Evict a by fetching another page.
+	b := d.Alloc(rum.Base)
+	f, _ = p.Fetch(b)
+	p.Release(f)
+	if p.Stats().WriteBacks != 1 {
+		t.Fatalf("writebacks: %d", p.Stats().WriteBacks)
+	}
+	// The device must hold the flushed contents.
+	page, _ := d.Read(a)
+	if page[0] != 7 {
+		t.Fatal("dirty eviction lost data")
+	}
+}
+
+func TestBufferPoolNewPageIsBlindWrite(t *testing.T) {
+	d := NewDevice(64, RAM, nil)
+	p := NewBufferPool(d, 4)
+	f, err := p.NewPage(rum.Aux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release(f)
+	if d.Stats().PageReads != 0 {
+		t.Fatal("NewPage caused a device read")
+	}
+	p.FlushAll()
+	if d.Stats().PageWrites != 1 {
+		t.Fatalf("flush writes: %d", d.Stats().PageWrites)
+	}
+}
+
+func TestBufferPoolPinnedOverflow(t *testing.T) {
+	d := NewDevice(64, RAM, nil)
+	p := NewBufferPool(d, 1)
+	a := d.Alloc(rum.Base)
+	b := d.Alloc(rum.Base)
+	fa, _ := p.Fetch(a)
+	fb, err := p.Fetch(b) // pool full of pinned frames: must overflow, not fail
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats().Overflows != 1 {
+		t.Fatalf("overflows: %d", p.Stats().Overflows)
+	}
+	p.Release(fa)
+	p.Release(fb)
+}
+
+func TestBufferPoolFreePage(t *testing.T) {
+	d := NewDevice(64, RAM, nil)
+	p := NewBufferPool(d, 4)
+	f, _ := p.NewPage(rum.Base)
+	id := f.ID()
+	if err := p.FreePage(id); err == nil {
+		t.Fatal("freeing a pinned page must fail")
+	}
+	p.Release(f)
+	if err := p.FreePage(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Fetch(id); err == nil {
+		t.Fatal("fetch of freed page succeeded")
+	}
+}
+
+func TestBufferPoolDropAll(t *testing.T) {
+	d := NewDevice(64, RAM, nil)
+	p := NewBufferPool(d, 8)
+	for i := 0; i < 4; i++ {
+		f, _ := p.NewPage(rum.Base)
+		f.Data()[0] = byte(i)
+		f.MarkDirty()
+		p.Release(f)
+	}
+	p.DropAll()
+	if p.Len() != 0 {
+		t.Fatalf("frames after DropAll: %d", p.Len())
+	}
+	if d.Stats().PageWrites != 4 {
+		t.Fatalf("DropAll flushed %d pages", d.Stats().PageWrites)
+	}
+}
+
+func TestHitRatio(t *testing.T) {
+	var s PoolStats
+	if s.HitRatio() != 0 {
+		t.Fatal("empty ratio")
+	}
+	s.Hits, s.Misses = 3, 1
+	if s.HitRatio() != 0.75 {
+		t.Fatalf("ratio %v", s.HitRatio())
+	}
+}
+
+// TestDeviceRoundTripProperty: what is written is what is read, for any
+// contents.
+func TestDeviceRoundTripProperty(t *testing.T) {
+	d := NewDevice(32, RAM, nil)
+	id := d.Alloc(rum.Base)
+	f := func(content [32]byte) bool {
+		if err := d.Write(id, content[:]); err != nil {
+			return false
+		}
+		got, err := d.Read(id)
+		return err == nil && bytes.Equal(got, content[:])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultInjectionRead(t *testing.T) {
+	d := NewDevice(64, RAM, nil)
+	id := d.Alloc(rum.Base)
+	d.InjectFaults(&FaultPlan{FailReadAfter: 3})
+	for i := 0; i < 2; i++ {
+		if _, err := d.Read(id); err != nil {
+			t.Fatalf("read %d failed early: %v", i, err)
+		}
+	}
+	if _, err := d.Read(id); !errors.Is(err, ErrInjected) {
+		t.Fatalf("third read: %v", err)
+	}
+	// Disarmed after firing (countdown exhausted).
+	if _, err := d.Read(id); err != nil {
+		t.Fatalf("post-fault read: %v", err)
+	}
+	d.InjectFaults(nil)
+	if _, err := d.Read(id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultInjectionWrite(t *testing.T) {
+	d := NewDevice(64, RAM, nil)
+	id := d.Alloc(rum.Base)
+	d.InjectFaults(&FaultPlan{FailWriteAfter: 1})
+	if err := d.Write(id, make([]byte, 64)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write: %v", err)
+	}
+	// The failed write must not have counted as traffic.
+	if d.Stats().PageWrites != 0 {
+		t.Fatalf("failed write counted: %d", d.Stats().PageWrites)
+	}
+}
+
+func TestPoolSurvivesReadFault(t *testing.T) {
+	d := NewDevice(64, RAM, nil)
+	p := NewBufferPool(d, 4)
+	a := d.Alloc(rum.Base)
+	d.InjectFaults(&FaultPlan{FailReadAfter: 1})
+	if _, err := p.Fetch(a); !errors.Is(err, ErrInjected) {
+		t.Fatalf("fetch: %v", err)
+	}
+	// The pool must not cache a frame for the failed fetch.
+	if p.Len() != 0 {
+		t.Fatalf("pool cached a failed frame: %d", p.Len())
+	}
+	// And must recover on the next attempt.
+	f, err := p.Fetch(a)
+	if err != nil {
+		t.Fatalf("recovery fetch: %v", err)
+	}
+	p.Release(f)
+}

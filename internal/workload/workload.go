@@ -1,0 +1,308 @@
+// Package workload generates deterministic operation streams — point
+// queries, range queries, inserts, updates, and deletes over integer keys —
+// matching the workload model of Section 2 of the paper. Generators are
+// seeded and reproducible, so every experiment replays the same stream
+// against every access method.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// OpKind enumerates the operation types of the paper's workload model.
+type OpKind int
+
+const (
+	// OpGet is a point query.
+	OpGet OpKind = iota
+	// OpRange is a range query of a configured result size m.
+	OpRange
+	// OpInsert adds a fresh key.
+	OpInsert
+	// OpUpdate modifies an existing key's value.
+	OpUpdate
+	// OpDelete removes an existing key.
+	OpDelete
+	numOpKinds
+)
+
+// String names the operation.
+func (k OpKind) String() string {
+	switch k {
+	case OpGet:
+		return "get"
+	case OpRange:
+		return "range"
+	case OpInsert:
+		return "insert"
+	case OpUpdate:
+		return "update"
+	case OpDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("op(%d)", int(k))
+	}
+}
+
+// Op is one generated operation. Hi is only meaningful for OpRange.
+type Op struct {
+	Kind  OpKind
+	Key   uint64
+	Hi    uint64
+	Value uint64
+}
+
+// Mix gives the relative weight of each operation kind; weights need not sum
+// to one.
+type Mix struct {
+	Get    float64
+	Range  float64
+	Insert float64
+	Update float64
+	Delete float64
+}
+
+// Canonical presets used across the experiments.
+var (
+	// ReadHeavy is 95% point reads, 5% updates (YCSB-B-like).
+	ReadHeavy = Mix{Get: 0.95, Update: 0.05}
+	// WriteHeavy is 10% reads, 60% inserts, 30% updates — the churn that
+	// motivates write-optimized differential structures.
+	WriteHeavy = Mix{Get: 0.10, Insert: 0.60, Update: 0.30}
+	// ScanHeavy is 70% range scans, 25% point reads, 5% inserts — the
+	// analytics pattern that motivates sparse indexes.
+	ScanHeavy = Mix{Get: 0.25, Range: 0.70, Insert: 0.05}
+	// Balanced is the canonical mixed workload used to place structures in
+	// the RUM triangle (Figure 1): 45% reads, 10% ranges, 20% inserts,
+	// 20% updates, 5% deletes.
+	Balanced = Mix{Get: 0.45, Range: 0.10, Insert: 0.20, Update: 0.20, Delete: 0.05}
+	// UpdateOnly exercises pure in-place modification.
+	UpdateOnly = Mix{Update: 1}
+	// LookupOnly exercises pure point reads.
+	LookupOnly = Mix{Get: 1}
+)
+
+// KeyPattern controls how fresh insert keys are drawn.
+type KeyPattern int
+
+const (
+	// ScatteredKeys draws unique keys scattered over a bounded domain
+	// (a bijective scramble of a counter), the general case.
+	ScatteredKeys KeyPattern = iota
+	// SequentialKeys inserts 0,1,2,… — the pattern that favors append-style
+	// and clustered structures.
+	SequentialKeys
+)
+
+// Access controls which existing key a read/update/delete targets.
+type Access int
+
+const (
+	// UniformAccess picks existing keys uniformly.
+	UniformAccess Access = iota
+	// ZipfAccess skews accesses to hot keys (s=1.1).
+	ZipfAccess
+	// LatestAccess skews accesses to recently inserted keys.
+	LatestAccess
+)
+
+// Config describes a generated workload.
+type Config struct {
+	Seed       int64
+	Mix        Mix
+	Keys       KeyPattern
+	Access     Access
+	RangeLen   uint64  // key-span of a range query (result size for dense keys)
+	Domain     uint64  // key domain size for ScatteredKeys (0 = 1<<40)
+	MissRatio  float64 // fraction of point reads that target absent keys
+	InitialLen int     // records preloaded before the stream starts
+}
+
+// Generator produces a deterministic operation stream and tracks the live
+// key set so updates and deletes always target existing keys and inserts
+// always use fresh keys.
+type Generator struct {
+	cfg     Config
+	rng     *rand.Rand
+	zipf    *rand.Zipf
+	live    []uint64
+	pos     map[uint64]int
+	counter uint64
+	cdf     [numOpKinds]float64
+}
+
+// New creates a generator for cfg. Call Preload (or replay InitialRecords)
+// to populate the store it will drive.
+func New(cfg Config) *Generator {
+	if cfg.Domain == 0 {
+		cfg.Domain = 1 << 40
+	}
+	if cfg.RangeLen == 0 {
+		cfg.RangeLen = 128
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &Generator{
+		cfg:  cfg,
+		rng:  rng,
+		pos:  make(map[uint64]int),
+		zipf: rand.NewZipf(rng, 1.1, 1, 1<<20),
+	}
+	total := cfg.Mix.Get + cfg.Mix.Range + cfg.Mix.Insert + cfg.Mix.Update + cfg.Mix.Delete
+	if total <= 0 {
+		panic("workload: empty mix")
+	}
+	acc := 0.0
+	for i, w := range []float64{cfg.Mix.Get, cfg.Mix.Range, cfg.Mix.Insert, cfg.Mix.Update, cfg.Mix.Delete} {
+		acc += w / total
+		g.cdf[i] = acc
+	}
+	return g
+}
+
+// splitmix64 is a bijective scramble used to generate unique scattered keys.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// freshKey returns a key never handed out before.
+func (g *Generator) freshKey() uint64 {
+	k := g.counter
+	g.counter++
+	if g.cfg.Keys == SequentialKeys {
+		return k
+	}
+	return splitmix64(k) % g.cfg.Domain
+}
+
+// Live returns the number of keys currently live.
+func (g *Generator) Live() int { return len(g.live) }
+
+// LiveKeys returns a copy of the live key set (test support).
+func (g *Generator) LiveKeys() []uint64 {
+	out := make([]uint64, len(g.live))
+	copy(out, g.live)
+	return out
+}
+
+// InitialRecords returns cfg.InitialLen fresh records to preload the store
+// with, registering them as live. It must be called exactly once, before Next.
+func (g *Generator) InitialRecords() []Op {
+	ops := make([]Op, 0, g.cfg.InitialLen)
+	for i := 0; i < g.cfg.InitialLen; i++ {
+		k := g.freshKey()
+		g.addLive(k)
+		ops = append(ops, Op{Kind: OpInsert, Key: k, Value: g.rng.Uint64()})
+	}
+	return ops
+}
+
+// RegisterLive adds k to the live key set without emitting an operation —
+// used when a generator is attached to a store that already holds data.
+func (g *Generator) RegisterLive(k uint64) {
+	if _, ok := g.pos[k]; ok {
+		return
+	}
+	g.addLive(k)
+}
+
+func (g *Generator) addLive(k uint64) {
+	g.pos[k] = len(g.live)
+	g.live = append(g.live, k)
+}
+
+func (g *Generator) removeLive(k uint64) {
+	i, ok := g.pos[k]
+	if !ok {
+		return
+	}
+	last := len(g.live) - 1
+	moved := g.live[last]
+	g.live[i] = moved
+	g.pos[moved] = i
+	g.live = g.live[:last]
+	delete(g.pos, k)
+}
+
+// pickLive chooses an existing key according to the configured access skew.
+// It reports false when no keys are live.
+func (g *Generator) pickLive() (uint64, bool) {
+	n := len(g.live)
+	if n == 0 {
+		return 0, false
+	}
+	var idx int
+	switch g.cfg.Access {
+	case ZipfAccess:
+		idx = int(g.zipf.Uint64()) % n
+	case LatestAccess:
+		// Exponential-ish skew toward the most recent tail.
+		off := int(g.zipf.Uint64()) % n
+		idx = n - 1 - off
+	default:
+		idx = g.rng.Intn(n)
+	}
+	return g.live[idx], true
+}
+
+// Next returns the next operation of the stream.
+func (g *Generator) Next() Op {
+	r := g.rng.Float64()
+	kind := OpDelete
+	for i := OpGet; i < numOpKinds; i++ {
+		if r <= g.cdf[i] {
+			kind = i
+			break
+		}
+	}
+	switch kind {
+	case OpGet:
+		if g.cfg.MissRatio > 0 && g.rng.Float64() < g.cfg.MissRatio {
+			return Op{Kind: OpGet, Key: g.freshKey()}
+		}
+		if k, ok := g.pickLive(); ok {
+			return Op{Kind: OpGet, Key: k}
+		}
+		return g.insertOp()
+	case OpRange:
+		if k, ok := g.pickLive(); ok {
+			hi := k + g.cfg.RangeLen
+			if hi < k { // overflow
+				hi = ^uint64(0)
+			}
+			return Op{Kind: OpRange, Key: k, Hi: hi}
+		}
+		return g.insertOp()
+	case OpInsert:
+		return g.insertOp()
+	case OpUpdate:
+		if k, ok := g.pickLive(); ok {
+			return Op{Kind: OpUpdate, Key: k, Value: g.rng.Uint64()}
+		}
+		return g.insertOp()
+	default: // OpDelete
+		if k, ok := g.pickLive(); ok {
+			g.removeLive(k)
+			return Op{Kind: OpDelete, Key: k}
+		}
+		return g.insertOp()
+	}
+}
+
+func (g *Generator) insertOp() Op {
+	k := g.freshKey()
+	g.addLive(k)
+	return Op{Kind: OpInsert, Key: k, Value: g.rng.Uint64()}
+}
+
+// Stream returns the next n operations.
+func (g *Generator) Stream(n int) []Op {
+	ops := make([]Op, n)
+	for i := range ops {
+		ops[i] = g.Next()
+	}
+	return ops
+}

@@ -1,0 +1,215 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Seed: 42, Mix: Balanced, InitialLen: 100}
+	a := New(cfg)
+	b := New(cfg)
+	ia, ib := a.InitialRecords(), b.InitialRecords()
+	if len(ia) != len(ib) || len(ia) != 100 {
+		t.Fatalf("initial lengths %d/%d", len(ia), len(ib))
+	}
+	for i := range ia {
+		if ia[i] != ib[i] {
+			t.Fatalf("initial record %d differs", i)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		oa, ob := a.Next(), b.Next()
+		if oa != ob {
+			t.Fatalf("op %d differs: %+v vs %+v", i, oa, ob)
+		}
+	}
+}
+
+func TestInitialKeysUnique(t *testing.T) {
+	g := New(Config{Seed: 1, Mix: Balanced, InitialLen: 5000})
+	seen := map[uint64]bool{}
+	for _, op := range g.InitialRecords() {
+		if op.Kind != OpInsert {
+			t.Fatalf("initial op kind %v", op.Kind)
+		}
+		if seen[op.Key] {
+			t.Fatalf("duplicate initial key %d", op.Key)
+		}
+		seen[op.Key] = true
+	}
+}
+
+func TestMixFractions(t *testing.T) {
+	g := New(Config{Seed: 3, Mix: Mix{Get: 0.5, Insert: 0.5}, InitialLen: 100})
+	g.InitialRecords()
+	counts := map[OpKind]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Kind]++
+	}
+	if counts[OpUpdate] != 0 || counts[OpDelete] != 0 || counts[OpRange] != 0 {
+		t.Fatalf("unexpected kinds: %v", counts)
+	}
+	getFrac := float64(counts[OpGet]) / n
+	if getFrac < 0.45 || getFrac > 0.55 {
+		t.Fatalf("get fraction %v", getFrac)
+	}
+}
+
+// TestLiveSetConsistency: updates and deletes only target keys previously
+// inserted and not yet deleted; inserts are always fresh.
+func TestLiveSetConsistency(t *testing.T) {
+	g := New(Config{Seed: 7, Mix: Balanced, InitialLen: 200})
+	live := map[uint64]bool{}
+	for _, op := range g.InitialRecords() {
+		live[op.Key] = true
+	}
+	for i := 0; i < 30000; i++ {
+		op := g.Next()
+		switch op.Kind {
+		case OpInsert:
+			if live[op.Key] {
+				t.Fatalf("op %d: insert of live key %d", i, op.Key)
+			}
+			live[op.Key] = true
+		case OpUpdate:
+			if !live[op.Key] {
+				t.Fatalf("op %d: update of dead key %d", i, op.Key)
+			}
+		case OpDelete:
+			if !live[op.Key] {
+				t.Fatalf("op %d: delete of dead key %d", i, op.Key)
+			}
+			delete(live, op.Key)
+		case OpRange:
+			if op.Hi < op.Key {
+				t.Fatalf("op %d: inverted range", i)
+			}
+		}
+	}
+	if g.Live() != len(live) {
+		t.Fatalf("generator live %d, model %d", g.Live(), len(live))
+	}
+}
+
+func TestMissRatio(t *testing.T) {
+	g := New(Config{Seed: 9, Mix: LookupOnly, InitialLen: 500, MissRatio: 0.5})
+	live := map[uint64]bool{}
+	for _, op := range g.InitialRecords() {
+		live[op.Key] = true
+	}
+	misses := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		op := g.Next()
+		if !live[op.Key] {
+			misses++
+		}
+	}
+	frac := float64(misses) / n
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("miss fraction %v", frac)
+	}
+}
+
+func TestSequentialKeys(t *testing.T) {
+	g := New(Config{Seed: 1, Mix: Mix{Insert: 1}, Keys: SequentialKeys})
+	for i := uint64(0); i < 100; i++ {
+		op := g.Next()
+		if op.Key != i {
+			t.Fatalf("sequential key %d != %d", op.Key, i)
+		}
+	}
+}
+
+func TestScatteredKeysStayInDomain(t *testing.T) {
+	f := func(seed int64) bool {
+		g := New(Config{Seed: seed, Mix: Mix{Insert: 1}, Domain: 1 << 20})
+		for i := 0; i < 200; i++ {
+			if g.Next().Key >= 1<<20 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccessSkews(t *testing.T) {
+	for _, acc := range []Access{UniformAccess, ZipfAccess, LatestAccess} {
+		g := New(Config{Seed: 5, Mix: Mix{Get: 1}, InitialLen: 1000, Access: acc})
+		g.InitialRecords()
+		for i := 0; i < 500; i++ {
+			op := g.Next()
+			if op.Kind != OpGet {
+				t.Fatalf("access %v: kind %v", acc, op.Kind)
+			}
+		}
+	}
+}
+
+func TestEmptyMixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty mix did not panic")
+		}
+	}()
+	New(Config{Seed: 1})
+}
+
+func TestFallbackToInsertWhenEmpty(t *testing.T) {
+	// No initial records: gets/updates/deletes must degrade to inserts
+	// rather than emit ops on nonexistent keys.
+	g := New(Config{Seed: 2, Mix: Mix{Update: 1}})
+	op := g.Next()
+	if op.Kind != OpInsert {
+		t.Fatalf("first op on empty store: %v", op.Kind)
+	}
+}
+
+func TestRegisterLive(t *testing.T) {
+	g := New(Config{Seed: 2, Mix: Mix{Update: 1}})
+	g.RegisterLive(77)
+	g.RegisterLive(77) // idempotent
+	if g.Live() != 1 {
+		t.Fatalf("live %d", g.Live())
+	}
+	op := g.Next()
+	if op.Kind != OpUpdate || op.Key != 77 {
+		t.Fatalf("op %+v", op)
+	}
+}
+
+func TestStream(t *testing.T) {
+	g := New(Config{Seed: 4, Mix: Balanced, InitialLen: 10})
+	g.InitialRecords()
+	ops := g.Stream(50)
+	if len(ops) != 50 {
+		t.Fatalf("stream length %d", len(ops))
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	names := map[OpKind]string{
+		OpGet: "get", OpRange: "range", OpInsert: "insert", OpUpdate: "update", OpDelete: "delete",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("%v", k)
+		}
+	}
+}
+
+func TestSplitmixIsInjectiveOnPrefix(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 100000; i++ {
+		v := splitmix64(i)
+		if seen[v] {
+			t.Fatalf("collision at %d", i)
+		}
+		seen[v] = true
+	}
+}
