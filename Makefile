@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: check build vet test race bench golden
+
+## check: the full gate — build, vet, and race-enabled tests.
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench: the hot-path comparison quoted in PR descriptions
+## (nil-hook must stay allocation-free and within noise of untraced).
+bench:
+	$(GO) test ./internal/obs -bench BenchmarkInstrumentedGet -benchtime=2s -run '^$$'
+
+## golden: regenerate exporter golden files after an intended format change.
+golden:
+	$(GO) test ./internal/obs -run Golden -update

@@ -7,28 +7,47 @@
 //	rumbench -exp all
 //	rumbench -exp table1,fig1 -n 65536 -ops 20000
 //	rumbench -exp fig3 -quick
+//	rumbench -exp table1 -trace out.jsonl -timeseries ts.csv -metrics metrics.txt
+//
+// The -trace/-timeseries/-metrics flags attach an observability layer
+// (internal/obs) to every traced experiment (table1, fig1, fig3,
+// conjecture): per-operation JSONL spans, a CSV RUM time series, and a
+// Prometheus-style metrics exposition.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
+
+// knownExps lists every experiment name, in run order.
+var knownExps = []string{"props", "table1", "fig1", "fig2", "fig3", "conjecture", "adaptive", "extensions"}
 
 func main() {
 	var (
-		exps  = flag.String("exp", "all", "comma-separated experiments: props,table1,fig1,fig2,fig3,conjecture,adaptive,extensions,all")
-		n     = flag.Int("n", 0, "dataset size in records (0 = per-experiment default)")
-		ops   = flag.Int("ops", 0, "measured operations per run (0 = default)")
-		seed  = flag.Int64("seed", 1, "deterministic seed")
-		m     = flag.Int("m", 256, "range query result size for table1")
-		quick = flag.Bool("quick", false, "small sizes for a fast pass")
+		exps       = flag.String("exp", "all", "comma-separated experiments: "+strings.Join(knownExps, ",")+",all")
+		n          = flag.Int("n", 0, "dataset size in records (0 = per-experiment default)")
+		ops        = flag.Int("ops", 0, "measured operations per run (0 = default)")
+		seed       = flag.Int64("seed", 1, "deterministic seed")
+		m          = flag.Int("m", 256, "range query result size for table1")
+		quick      = flag.Bool("quick", false, "small sizes for a fast pass")
+		trace      = flag.String("trace", "", "write per-operation JSONL spans to this file")
+		timeseries = flag.String("timeseries", "", "write the RUM time-series CSV to this file")
+		metrics    = flag.String("metrics", "", "write a Prometheus-style metrics exposition to this file")
+		sample     = flag.Int("sample", 256, "operations between time-series samples")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
 
 	cfg := bench.Config{Seed: *seed, N: *n, Ops: *ops}
 	if *quick {
@@ -40,11 +59,36 @@ func main() {
 		}
 	}
 
+	valid := map[string]bool{"all": true}
+	for _, e := range knownExps {
+		valid[e] = true
+	}
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exps, ",") {
-		want[strings.TrimSpace(e)] = true
+		e = strings.TrimSpace(e)
+		if e == "" {
+			continue
+		}
+		if !valid[e] {
+			fmt.Fprintf(os.Stderr, "rumbench: unknown experiment %q; known experiments: %s, all\n",
+				e, strings.Join(knownExps, ", "))
+			os.Exit(2)
+		}
+		want[e] = true
+	}
+	if len(want) == 0 {
+		fmt.Fprintf(os.Stderr, "rumbench: no experiments selected; known experiments: %s, all\n",
+			strings.Join(knownExps, ", "))
+		os.Exit(2)
 	}
 	all := want["all"]
+
+	var observer *obs.Observer
+	if *trace != "" || *timeseries != "" || *metrics != "" {
+		observer = obs.New(obs.Config{SampleEvery: *sample})
+		cfg.Obs = observer
+		cfg.Storage.Hook = observer
+	}
 
 	run := func(name string, fn func() string) {
 		if !all && !want[name] {
@@ -89,8 +133,36 @@ func main() {
 	run("adaptive", func() string { return bench.RunAdaptive(cfg).Render() })
 	run("extensions", func() string { return bench.RunExtensions(cfg).Render() })
 
-	if flag.NArg() > 0 {
-		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
-		os.Exit(2)
+	if observer != nil {
+		export := func(path, what string, write func(io.Writer) error) {
+			if path == "" {
+				return
+			}
+			f, err := os.Create(path)
+			if err == nil {
+				err = write(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rumbench: %s: %v\n", what, err)
+				os.Exit(1)
+			}
+		}
+		export(*trace, "trace", observer.WriteTrace)
+		export(*timeseries, "timeseries", observer.WriteTimeSeries)
+		export(*metrics, "metrics", observer.WriteMetrics)
+		fmt.Printf("observability: %d spans (%d dropped), %d samples, %d page events attributed\n",
+			len(observer.Spans()), observer.Dropped(), len(observer.Samples()), observer.Totals().Touched())
+		if *trace != "" {
+			fmt.Printf("  trace      → %s\n", *trace)
+		}
+		if *timeseries != "" {
+			fmt.Printf("  timeseries → %s\n", *timeseries)
+		}
+		if *metrics != "" {
+			fmt.Printf("  metrics    → %s\n", *metrics)
+		}
 	}
 }

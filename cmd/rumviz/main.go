@@ -7,6 +7,7 @@
 //	rumviz                                  # full catalog, balanced mix
 //	rumviz -methods btree,hash,lsm-level -get 0.9 -update 0.1
 //	rumviz -absolute                        # plot absolute amplifications
+//	rumviz -trajectory                      # RUM trajectory sparklines per method
 package main
 
 import (
@@ -18,26 +19,38 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/methods"
+	"repro/internal/obs"
 	"repro/internal/rum"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		list     = flag.String("methods", "", "comma-separated catalog names (default: all)")
-		n        = flag.Int("n", 16384, "records preloaded")
-		ops      = flag.Int("ops", 8000, "measured operations")
-		get      = flag.Float64("get", 0.58, "point query fraction")
-		rng      = flag.Float64("range", 0.0, "range query fraction")
-		insert   = flag.Float64("insert", 0.2, "insert fraction")
-		update   = flag.Float64("update", 0.17, "update fraction")
-		del      = flag.Float64("delete", 0.05, "delete fraction")
-		width    = flag.Int("width", 61, "triangle width in characters")
-		absolute = flag.Bool("absolute", false, "plot absolute amplification instead of cohort-relative position")
+		list       = flag.String("methods", "", "comma-separated catalog names (default: all)")
+		n          = flag.Int("n", 16384, "records preloaded")
+		ops        = flag.Int("ops", 8000, "measured operations")
+		get        = flag.Float64("get", 0.58, "point query fraction")
+		rng        = flag.Float64("range", 0.0, "range query fraction")
+		insert     = flag.Float64("insert", 0.2, "insert fraction")
+		update     = flag.Float64("update", 0.17, "update fraction")
+		del        = flag.Float64("delete", 0.05, "delete fraction")
+		width      = flag.Int("width", 61, "triangle width in characters")
+		absolute   = flag.Bool("absolute", false, "plot absolute amplification instead of cohort-relative position")
+		trajectory = flag.Bool("trajectory", false, "render RUM trajectory sparklines (windowed RO/UO and MO over the run)")
+		sample     = flag.Int("sample", 0, "operations between trajectory samples (0 = ops/60)")
 	)
 	flag.Parse()
 
 	opt := methods.Options{PoolPages: 8}
+	var tracer *obs.Observer
+	if *trajectory {
+		every := *sample
+		if every <= 0 {
+			every = *ops / 60
+		}
+		tracer = obs.New(obs.Config{SampleEvery: every})
+		opt.Hook = tracer
+	}
 	specs := methods.Catalog(opt)
 	if *list != "" {
 		var chosen []methods.Spec
@@ -57,7 +70,11 @@ func main() {
 	var raw []rum.Point
 	for _, spec := range specs {
 		gen := workload.New(workload.Config{Seed: 1, Mix: mix, InitialLen: *n, RangeLen: 1 << 30})
-		prof, err := core.RunProfile(spec.New(), gen, *ops)
+		am := spec.New()
+		if tracer != nil {
+			tracer.Target(am, spec.Name)
+		}
+		prof, err := core.RunProfile(am, gen, *ops)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -75,4 +92,8 @@ func main() {
 	fmt.Printf("RUM triangle: N=%d, ops=%d, mix get=%.2f range=%.2f insert=%.2f update=%.2f delete=%.2f\n\n",
 		*n, *ops, *get, *rng, *insert, *update, *del)
 	fmt.Println(bench.RenderTriangle(pts, *width))
+	if tracer != nil {
+		fmt.Println("RUM trajectory (one sparkline column per sampling window):")
+		fmt.Print(obs.RenderTrajectory(tracer.Samples(), 60))
+	}
 }

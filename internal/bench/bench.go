@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/methods"
+	"repro/internal/obs"
 )
 
 // Config holds the common experiment parameters.
@@ -26,6 +27,17 @@ type Config struct {
 	Ops int
 	// Storage configures the simulated substrate for page-based methods.
 	Storage methods.Options
+	// Obs, when non-nil, traces every structure an experiment profiles:
+	// spans, histograms, and the RUM time series. Set Storage.Hook to the
+	// same observer to attribute page events too (cmd/rumbench does both).
+	Obs *obs.Observer
+}
+
+// observe points the run's observer (if any) at a freshly built structure.
+func (c Config) observe(am *core.Instrumented, label string) {
+	if c.Obs != nil {
+		c.Obs.Target(am, label)
+	}
 }
 
 // Defaults fills zero fields.

@@ -94,6 +94,7 @@ func RunFig1(cfg Config) Fig1Result {
 			RangeLen:   1 << 30, // wide spans over the sparse 40-bit key domain
 		})
 		am := spec.New()
+		cfg.observe(am, spec.Name)
 		prof, err := core.RunProfile(am, gen, cfg.Ops)
 		if err != nil {
 			panic(fmt.Sprintf("fig1: %s: %v", spec.Name, err))

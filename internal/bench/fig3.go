@@ -60,6 +60,9 @@ func RunFig3(cfg Config) Fig3Result {
 	res := Fig3Result{N: cfg.N, Ops: cfg.Ops}
 
 	profile := func(label string, am *core.Instrumented) ConfigPoint {
+		// The structure's own name (e.g. "btree(B=256)") is the trace label:
+		// unlike the sweep label it is unique across families.
+		cfg.observe(am, am.Name())
 		gen := workload.New(workload.Config{
 			Seed:       cfg.Seed,
 			Mix:        fig3Mix,

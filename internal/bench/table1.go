@@ -82,6 +82,7 @@ func runTable1Cell(cfg Config, name string, recs []core.Record, m int) Table1Row
 		panic(err)
 	}
 	am := spec.New()
+	cfg.observe(am, name)
 	row := Table1Row{Method: name, N: len(recs), M: m}
 
 	// --- Bulk creation ---
@@ -89,7 +90,16 @@ func runTable1Cell(cfg Config, name string, recs []core.Record, m int) Table1Row
 	copy(loadRecs, recs)
 	start := am.Meter().Snapshot()
 	if sortCharged[name] {
+		// The external sort charges am's meter outside any Instrumented
+		// operation; wrap it in an explicit span so traces stay conservative
+		// (span deltas sum to the meter totals).
+		if cfg.Obs != nil {
+			cfg.Obs.BeginOp("extsort")
+		}
 		extsort.Sort(loadRecs, poolPages(cfg), pageSize(cfg), am.Meter())
+		if cfg.Obs != nil {
+			cfg.Obs.EndOp("extsort")
+		}
 	}
 	if err := am.BulkLoad(loadRecs); err != nil {
 		panic(fmt.Sprintf("table1: bulk load %s: %v", name, err))

@@ -2,6 +2,31 @@ package core
 
 import "repro/internal/rum"
 
+// Op names used when reporting operation spans to an OpObserver. They are
+// untyped string constants so observer implementations can use them as map
+// keys and export labels without conversion.
+const (
+	OpNameGet      = "get"
+	OpNameRange    = "range"
+	OpNameInsert   = "insert"
+	OpNameUpdate   = "update"
+	OpNameDelete   = "delete"
+	OpNameFlush    = "flush"
+	OpNameBulkLoad = "bulkload"
+)
+
+// OpObserver observes the boundaries of every logical operation executed
+// through an Instrumented wrapper, so physical traffic (metered bytes,
+// storage events) occurring between BeginOp and EndOp can be attributed to
+// the operation that caused it. Calls may nest (a BulkLoad that falls back
+// to Inserts); observers are expected to attribute nested work to the
+// outermost span. A nil observer is the default; the hooks then cost one
+// pointer comparison per operation and allocate nothing.
+type OpObserver interface {
+	BeginOp(op string)
+	EndOp(op string)
+}
+
 // Instrumented wraps an AccessMethod and performs the *logical* side of the
 // paper's overhead accounting centrally: every operation records the payload
 // the caller asked to read or write, while the wrapped structure records the
@@ -18,6 +43,7 @@ import "repro/internal/rum"
 //     whether or not the key existed.
 type Instrumented struct {
 	inner AccessMethod
+	obs   OpObserver
 }
 
 // Instrument wraps am. The returned value shares am's meter.
@@ -28,6 +54,9 @@ func Instrument(am AccessMethod) *Instrumented {
 	return &Instrumented{inner: am}
 }
 
+// SetObserver attaches (or, with nil, detaches) a per-operation observer.
+func (w *Instrumented) SetObserver(o OpObserver) { w.obs = o }
+
 // Unwrap returns the wrapped access method.
 func (w *Instrumented) Unwrap() AccessMethod { return w.inner }
 
@@ -36,24 +65,40 @@ func (w *Instrumented) Name() string { return w.inner.Name() }
 
 // Get performs a point query, accounting one logical record read.
 func (w *Instrumented) Get(k Key) (Value, bool) {
+	if w.obs != nil {
+		w.obs.BeginOp(OpNameGet)
+		defer w.obs.EndOp(OpNameGet)
+	}
 	w.inner.Meter().CountLogicalRead(RecordSize)
 	return w.inner.Get(k)
 }
 
 // Insert accounts one logical record write.
 func (w *Instrumented) Insert(k Key, v Value) error {
+	if w.obs != nil {
+		w.obs.BeginOp(OpNameInsert)
+		defer w.obs.EndOp(OpNameInsert)
+	}
 	w.inner.Meter().CountLogicalWrite(RecordSize)
 	return w.inner.Insert(k, v)
 }
 
 // Update accounts one logical record write.
 func (w *Instrumented) Update(k Key, v Value) bool {
+	if w.obs != nil {
+		w.obs.BeginOp(OpNameUpdate)
+		defer w.obs.EndOp(OpNameUpdate)
+	}
 	w.inner.Meter().CountLogicalWrite(RecordSize)
 	return w.inner.Update(k, v)
 }
 
 // Delete accounts one logical record write.
 func (w *Instrumented) Delete(k Key) bool {
+	if w.obs != nil {
+		w.obs.BeginOp(OpNameDelete)
+		defer w.obs.EndOp(OpNameDelete)
+	}
 	w.inner.Meter().CountLogicalWrite(RecordSize)
 	return w.inner.Delete(k)
 }
@@ -61,6 +106,10 @@ func (w *Instrumented) Delete(k Key) bool {
 // RangeScan accounts one logical record read per emitted result (and one
 // read operation).
 func (w *Instrumented) RangeScan(lo, hi Key, emit func(Key, Value) bool) int {
+	if w.obs != nil {
+		w.obs.BeginOp(OpNameRange)
+		defer w.obs.EndOp(OpNameRange)
+	}
 	n := w.inner.RangeScan(lo, hi, emit)
 	w.inner.Meter().CountLogicalRead(n * RecordSize)
 	return n
@@ -76,11 +125,21 @@ func (w *Instrumented) Meter() *rum.Meter { return w.inner.Meter() }
 func (w *Instrumented) Size() rum.SizeInfo { return w.inner.Size() }
 
 // Flush forwards to the wrapped structure if it buffers writes.
-func (w *Instrumented) Flush() { Flush(w.inner) }
+func (w *Instrumented) Flush() {
+	if w.obs != nil {
+		w.obs.BeginOp(OpNameFlush)
+		defer w.obs.EndOp(OpNameFlush)
+	}
+	Flush(w.inner)
+}
 
 // BulkLoad forwards when supported; the load is accounted as logical writes
 // for every record.
 func (w *Instrumented) BulkLoad(recs []Record) error {
+	if w.obs != nil {
+		w.obs.BeginOp(OpNameBulkLoad)
+		defer w.obs.EndOp(OpNameBulkLoad)
+	}
 	bl, ok := w.inner.(BulkLoader)
 	if !ok {
 		for _, r := range recs {

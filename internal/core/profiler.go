@@ -98,7 +98,9 @@ func Apply(w *Instrumented, op workload.Op, st *OpStats) {
 // traffic during the measured phase only; space measured at the end).
 func RunProfile(am AccessMethod, gen *workload.Generator, n int) (Profile, error) {
 	w := Instrument(am)
-	if err := Preload(w.Unwrap(), gen); err != nil {
+	// Preload through the same wrapper so an attached OpObserver sees the
+	// load as spans too (Preload's own Instrument call returns w unchanged).
+	if err := Preload(w, gen); err != nil {
 		return Profile{}, fmt.Errorf("preload %s: %w", am.Name(), err)
 	}
 	w.Flush()

@@ -34,6 +34,10 @@ type Options struct {
 	PoolPages int
 	// Medium is the simulated storage technology (default SSD).
 	Medium storage.Medium
+	// Hook, when non-nil, observes every page event of every device and
+	// buffer pool built through this Options (e.g. an *obs.Observer). The
+	// default nil keeps the storage hot path untraced.
+	Hook storage.Hook
 }
 
 func (o *Options) defaults() {
@@ -49,7 +53,12 @@ func (o *Options) defaults() {
 func NewPool(opt Options, meter *rum.Meter) *storage.BufferPool {
 	opt.defaults()
 	dev := storage.NewDevice(opt.PageSize, opt.Medium, meter)
-	return storage.NewBufferPool(dev, opt.PoolPages)
+	pool := storage.NewBufferPool(dev, opt.PoolPages)
+	if opt.Hook != nil {
+		dev.SetHook(opt.Hook)
+		pool.SetHook(opt.Hook)
+	}
+	return pool
 }
 
 // NewBTree builds an instrumented B+-tree.

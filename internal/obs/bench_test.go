@@ -1,0 +1,56 @@
+package obs_test
+
+import (
+	"testing"
+
+	"repro/internal/btree"
+	"repro/internal/core"
+	"repro/internal/methods"
+	"repro/internal/obs"
+)
+
+// BenchmarkInstrumentedGet compares the untraced hot path (nil observer, nil
+// storage hook — the default) against the fully observed path. The nil-hook
+// case must stay allocation-free and within noise of the seed's performance:
+// the observability layer is paid for only when attached.
+func BenchmarkInstrumentedGet(b *testing.B) {
+	const n = 4096
+	build := func(o *obs.Observer) *core.Instrumented {
+		opt := methods.Options{PoolPages: 64}
+		if o != nil {
+			opt.Hook = o
+		}
+		am := methods.NewBTree(opt, btree.Config{})
+		if o != nil {
+			o.Target(am, "btree")
+		}
+		recs := make([]core.Record, n)
+		for i := range recs {
+			recs[i] = core.Record{Key: core.Key(i * 7), Value: core.Value(i)}
+		}
+		if err := am.BulkLoad(recs); err != nil {
+			b.Fatal(err)
+		}
+		am.Flush()
+		return am
+	}
+
+	b.Run("nil-hook", func(b *testing.B) {
+		am := build(nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			am.Get(core.Key((i % n) * 7))
+		}
+	})
+	b.Run("observed", func(b *testing.B) {
+		// A small span cap keeps memory flat; dropped spans still feed
+		// histograms, which is the steady-state tracing cost.
+		am := build(obs.New(obs.Config{MaxSpans: 1024, SampleEvery: 1 << 20}))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			am.Get(core.Key((i % n) * 7))
+		}
+	})
+}

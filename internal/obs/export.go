@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// SpanJSON is the flat JSONL encoding of one Span. Field order is fixed by
+// the struct, so traces are byte-stable across runs with the same seed.
+type SpanJSON struct {
+	Seq            uint64 `json:"seq"`
+	Method         string `json:"method"`
+	Op             string `json:"op"`
+	BaseRead       uint64 `json:"base_read"`
+	AuxRead        uint64 `json:"aux_read"`
+	BaseWritten    uint64 `json:"base_written"`
+	AuxWritten     uint64 `json:"aux_written"`
+	LogicalRead    uint64 `json:"logical_read"`
+	LogicalWritten uint64 `json:"logical_written"`
+	PageReadsBase  uint64 `json:"page_reads_base"`
+	PageReadsAux   uint64 `json:"page_reads_aux"`
+	PageWritesBase uint64 `json:"page_writes_base"`
+	PageWritesAux  uint64 `json:"page_writes_aux"`
+	PoolHits       uint64 `json:"pool_hits"`
+	PoolMisses     uint64 `json:"pool_misses"`
+	PoolEvictions  uint64 `json:"pool_evictions"`
+	PoolWriteBacks uint64 `json:"pool_writebacks"`
+	CostUnits      uint64 `json:"cost_units"`
+}
+
+// ToJSON converts a span to its export form.
+func (s Span) ToJSON() SpanJSON {
+	return SpanJSON{
+		Seq:            s.Seq,
+		Method:         s.Method,
+		Op:             s.Op,
+		BaseRead:       s.Meter.BaseRead,
+		AuxRead:        s.Meter.AuxRead,
+		BaseWritten:    s.Meter.BaseWritten,
+		AuxWritten:     s.Meter.AuxWritten,
+		LogicalRead:    s.Meter.LogicalRead,
+		LogicalWritten: s.Meter.LogicalWritten,
+		PageReadsBase:  s.Pages.BaseReads,
+		PageReadsAux:   s.Pages.AuxReads,
+		PageWritesBase: s.Pages.BaseWrites,
+		PageWritesAux:  s.Pages.AuxWrites,
+		PoolHits:       s.Pages.Hits,
+		PoolMisses:     s.Pages.Misses,
+		PoolEvictions:  s.Pages.Evictions,
+		PoolWriteBacks: s.Pages.WriteBacks,
+		CostUnits:      s.Pages.Cost,
+	}
+}
+
+// WriteTrace writes every retained span as one JSON object per line.
+func (o *Observer) WriteTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range o.spans {
+		if err := enc.Encode(s.ToJSON()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// fmtFloat renders a float for CSV: fixed precision, "inf" for +Inf so
+// spreadsheet tooling doesn't choke on Go's "+Inf".
+func fmtFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	if math.IsNaN(v) {
+		return "nan"
+	}
+	return strconv.FormatFloat(v, 'f', 4, 64)
+}
+
+// WriteTimeSeries writes the sampled RUM trajectory as CSV. Cumulative
+// read/write amplification (ro, uo) give the headline trajectory; windowed
+// amplification (ro_win, uo_win) expose bursts between samples; mo is the
+// space amplification measured at sampling time.
+func (o *Observer) WriteTimeSeries(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "seq,method,base_read,aux_read,base_written,aux_written,logical_read,logical_written,ro,uo,mo,ro_win,uo_win,cost_units"); err != nil {
+		return err
+	}
+	for _, s := range o.samples {
+		_, err := fmt.Fprintf(bw, "%d,%s,%d,%d,%d,%d,%d,%d,%s,%s,%s,%s,%s,%d\n",
+			s.Seq, s.Method,
+			s.Cum.BaseRead, s.Cum.AuxRead, s.Cum.BaseWritten, s.Cum.AuxWritten,
+			s.Cum.LogicalRead, s.Cum.LogicalWritten,
+			fmtFloat(s.Cum.ReadAmplification()), fmtFloat(s.Cum.WriteAmplification()),
+			fmtFloat(s.MO),
+			fmtFloat(s.Win.ReadAmplification()), fmtFloat(s.Win.WriteAmplification()),
+			s.Cost)
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// fmtLe renders a histogram bound as a Prometheus le label value.
+func fmtLe(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteMetrics writes a Prometheus text-format exposition of the run:
+// page-event counters, traced byte counters, per-(method, op) operation
+// counts, and the pages-touched and amplification histograms.
+func (o *Observer) WriteMetrics(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+
+	fmt.Fprintln(bw, "# HELP rum_pages_total Device page operations observed, by direction and data class.")
+	fmt.Fprintln(bw, "# TYPE rum_pages_total counter")
+	fmt.Fprintf(bw, "rum_pages_total{dir=\"read\",class=\"base\"} %d\n", o.total.BaseReads)
+	fmt.Fprintf(bw, "rum_pages_total{dir=\"read\",class=\"aux\"} %d\n", o.total.AuxReads)
+	fmt.Fprintf(bw, "rum_pages_total{dir=\"write\",class=\"base\"} %d\n", o.total.BaseWrites)
+	fmt.Fprintf(bw, "rum_pages_total{dir=\"write\",class=\"aux\"} %d\n", o.total.AuxWrites)
+
+	fmt.Fprintln(bw, "# HELP rum_pool_events_total Buffer pool events observed.")
+	fmt.Fprintln(bw, "# TYPE rum_pool_events_total counter")
+	fmt.Fprintf(bw, "rum_pool_events_total{event=\"hit\"} %d\n", o.total.Hits)
+	fmt.Fprintf(bw, "rum_pool_events_total{event=\"miss\"} %d\n", o.total.Misses)
+	fmt.Fprintf(bw, "rum_pool_events_total{event=\"eviction\"} %d\n", o.total.Evictions)
+	fmt.Fprintf(bw, "rum_pool_events_total{event=\"writeback\"} %d\n", o.total.WriteBacks)
+
+	fmt.Fprintln(bw, "# HELP rum_cost_units_total Medium-weighted cost units observed.")
+	fmt.Fprintln(bw, "# TYPE rum_cost_units_total counter")
+	fmt.Fprintf(bw, "rum_cost_units_total %d\n", o.total.Cost)
+
+	fmt.Fprintln(bw, "# HELP rum_traced_bytes_total Bytes accumulated by traced spans, by kind, direction, and class.")
+	fmt.Fprintln(bw, "# TYPE rum_traced_bytes_total counter")
+	fmt.Fprintf(bw, "rum_traced_bytes_total{kind=\"physical\",dir=\"read\",class=\"base\"} %d\n", o.traced.BaseRead)
+	fmt.Fprintf(bw, "rum_traced_bytes_total{kind=\"physical\",dir=\"read\",class=\"aux\"} %d\n", o.traced.AuxRead)
+	fmt.Fprintf(bw, "rum_traced_bytes_total{kind=\"physical\",dir=\"write\",class=\"base\"} %d\n", o.traced.BaseWritten)
+	fmt.Fprintf(bw, "rum_traced_bytes_total{kind=\"physical\",dir=\"write\",class=\"aux\"} %d\n", o.traced.AuxWritten)
+	fmt.Fprintf(bw, "rum_traced_bytes_total{kind=\"logical\",dir=\"read\"} %d\n", o.traced.LogicalRead)
+	fmt.Fprintf(bw, "rum_traced_bytes_total{kind=\"logical\",dir=\"write\"} %d\n", o.traced.LogicalWritten)
+
+	fmt.Fprintln(bw, "# HELP rum_untraced_pages_total Device page operations that arrived outside any span.")
+	fmt.Fprintln(bw, "# TYPE rum_untraced_pages_total counter")
+	fmt.Fprintf(bw, "rum_untraced_pages_total{dir=\"read\"} %d\n", o.untraced.Reads())
+	fmt.Fprintf(bw, "rum_untraced_pages_total{dir=\"write\"} %d\n", o.untraced.Writes())
+
+	fmt.Fprintln(bw, "# HELP rum_spans_dropped_total Spans discarded after the retention cap.")
+	fmt.Fprintln(bw, "# TYPE rum_spans_dropped_total counter")
+	fmt.Fprintf(bw, "rum_spans_dropped_total %d\n", o.dropped)
+
+	keys := o.HistKeys()
+
+	fmt.Fprintln(bw, "# HELP rum_ops_total Traced logical operations.")
+	fmt.Fprintln(bw, "# TYPE rum_ops_total counter")
+	for _, k := range keys {
+		fmt.Fprintf(bw, "rum_ops_total{method=%q,op=%q} %d\n", k.Method, k.Op, o.ops[k])
+	}
+
+	writeHist := func(name string, pick func(*OpHist) *Histogram) {
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+		for _, k := range keys {
+			h := pick(o.hists[k])
+			bounds, cum := h.Buckets()
+			for i, b := range bounds {
+				fmt.Fprintf(bw, "%s_bucket{method=%q,op=%q,le=%q} %d\n", name, k.Method, k.Op, fmtLe(b), cum[i])
+			}
+			fmt.Fprintf(bw, "%s_bucket{method=%q,op=%q,le=\"+Inf\"} %d\n", name, k.Method, k.Op, cum[len(cum)-1])
+			fmt.Fprintf(bw, "%s_sum{method=%q,op=%q} %s\n", name, k.Method, k.Op, fmtLe(h.Sum()))
+			fmt.Fprintf(bw, "%s_count{method=%q,op=%q} %d\n", name, k.Method, k.Op, h.Count())
+		}
+	}
+	fmt.Fprintln(bw, "# HELP rum_op_pages Device pages touched per traced operation.")
+	writeHist("rum_op_pages", func(h *OpHist) *Histogram { return h.Pages })
+	fmt.Fprintln(bw, "# HELP rum_op_amplification Physical bytes per logical byte, per traced operation.")
+	writeHist("rum_op_amplification", func(h *OpHist) *Histogram { return h.Amp })
+
+	return bw.Flush()
+}
+
+// SummaryLine renders one compact human-readable line per (method, op) with
+// HDR quantiles of the pages-touched distribution — the trace's headline.
+func (o *Observer) SummaryLine(k OpKey) string {
+	h := o.hists[k]
+	if h == nil {
+		return ""
+	}
+	return fmt.Sprintf("%s/%s: n=%d pages p50=%g p90=%g p99=%g max=%g amp p50=%g p99=%g",
+		k.Method, k.Op, h.Pages.Count(),
+		h.Pages.Quantile(0.50), h.Pages.Quantile(0.90), h.Pages.Quantile(0.99), h.Pages.Max(),
+		h.Amp.Quantile(0.50), h.Amp.Quantile(0.99))
+}

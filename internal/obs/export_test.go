@@ -1,0 +1,80 @@
+package obs_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenObserver runs the fixed-seed workload all three golden files are
+// derived from. Any behavioural drift in the observer or an exporter shows
+// up as a golden diff.
+func goldenObserver(t *testing.T) *obs.Observer {
+	t.Helper()
+	o, _ := runTraced(t, obs.Config{SampleEvery: 32}, 100, 200)
+	return o
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs -run Golden -update` to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden file (rerun with -update if intended)\n got %d bytes, want %d bytes\n first got lines:\n%s",
+			name, len(got), len(want), firstLines(got, 5))
+	}
+}
+
+func firstLines(b []byte, n int) string {
+	lines := strings.SplitN(string(b), "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}
+
+func TestGoldenTraceJSONL(t *testing.T) {
+	o := goldenObserver(t)
+	var buf bytes.Buffer
+	if err := o.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "trace.golden.jsonl", buf.Bytes())
+}
+
+func TestGoldenTimeSeriesCSV(t *testing.T) {
+	o := goldenObserver(t)
+	var buf bytes.Buffer
+	if err := o.WriteTimeSeries(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "timeseries.golden.csv", buf.Bytes())
+}
+
+func TestGoldenMetricsPrometheus(t *testing.T) {
+	o := goldenObserver(t)
+	var buf bytes.Buffer
+	if err := o.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.golden.txt", buf.Bytes())
+}

@@ -1,0 +1,115 @@
+package obs
+
+import "math"
+
+// Histogram is a fixed-bucket (HDR-style) histogram: values are counted
+// against a static, monotonically increasing list of upper bounds, so
+// recording is a branch-free binary search and an increment, and quantiles
+// are answered with bounded relative error (one bucket width) without
+// retaining samples. The zero bucket layout used throughout this package is
+// powers of two, which matches the log-scale nature of amplification
+// factors and page counts.
+type Histogram struct {
+	bounds []float64 // inclusive upper bounds; an implicit +Inf bucket follows
+	counts []uint64  // len(bounds)+1
+	n      uint64
+	sum    float64
+	max    float64
+}
+
+// PowerOfTwoBounds returns the bucket bounds 1, 2, 4, … 2^(n-1).
+func PowerOfTwoBounds(n int) []float64 {
+	b := make([]float64, n)
+	v := 1.0
+	for i := range b {
+		b[i] = v
+		v *= 2
+	}
+	return b
+}
+
+// NewHistogram creates a histogram over the given inclusive upper bounds,
+// which must be sorted ascending.
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// Record counts one observation of v.
+func (h *Histogram) Record(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	h.n++
+	if !math.IsInf(v, 1) {
+		h.sum += v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo]++
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Sum returns the sum of all finite recorded observations.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Max returns the largest recorded observation (0 when empty).
+func (h *Histogram) Max() float64 { return h.max }
+
+// Mean returns the mean of finite observations (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Quantile returns the upper bound of the bucket holding the q-quantile
+// observation (0 <= q <= 1). Observations beyond the last bound report +Inf;
+// an empty histogram reports 0. The answer overestimates the true quantile
+// by at most one bucket width — the HDR tradeoff.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
+// Buckets returns the bucket upper bounds and their cumulative counts in
+// Prometheus order: the final implicit +Inf bucket equals Count(). The
+// returned slices are freshly allocated.
+func (h *Histogram) Buckets() (bounds []float64, cumulative []uint64) {
+	bounds = append([]float64(nil), h.bounds...)
+	cumulative = make([]uint64, len(h.counts))
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		cumulative[i] = cum
+	}
+	return bounds, cumulative[:len(h.bounds)+1]
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// sparkRunes are the eight block heights of an ASCII/Unicode sparkline.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders vals as a fixed-width sparkline. Values are resampled
+// to width by averaging, then scaled between the finite min and max of the
+// series; +Inf values clamp to the top block, NaN renders as a space. An
+// empty series renders as spaces.
+func Sparkline(vals []float64, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	if len(vals) == 0 {
+		return strings.Repeat(" ", width)
+	}
+	resampled := resample(vals, width)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range resampled {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	var b strings.Builder
+	for _, v := range resampled {
+		switch {
+		case math.IsNaN(v):
+			b.WriteByte(' ')
+		case math.IsInf(v, 1):
+			b.WriteRune(sparkRunes[len(sparkRunes)-1])
+		case lo > hi || hi == lo:
+			b.WriteRune(sparkRunes[0])
+		default:
+			idx := int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(sparkRunes) {
+				idx = len(sparkRunes) - 1
+			}
+			b.WriteRune(sparkRunes[idx])
+		}
+	}
+	return b.String()
+}
+
+// resample shrinks or stretches vals to exactly width points by bucket
+// averaging (shrink) or nearest-neighbour (stretch). NaN and +Inf inputs
+// poison their bucket, deliberately: a window with an infinite burst is an
+// infinite bucket.
+func resample(vals []float64, width int) []float64 {
+	out := make([]float64, width)
+	n := len(vals)
+	for i := 0; i < width; i++ {
+		lo := i * n / width
+		hi := (i + 1) * n / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		sum, cnt := 0.0, 0
+		poison := math.NaN()
+		clean := true
+		for _, v := range vals[lo:hi] {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				poison = v
+				clean = false
+				continue
+			}
+			sum += v
+			cnt++
+		}
+		switch {
+		case clean && cnt > 0:
+			out[i] = sum / float64(cnt)
+		case cnt > 0:
+			// mixed finite and non-finite: prefer the non-finite signal
+			out[i] = poison
+		default:
+			out[i] = poison
+		}
+	}
+	return out
+}
+
+// fmtRange renders the [min max] annotation of a trajectory line.
+func fmtRange(vals []float64) string {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	anyInf := false
+	for _, v := range vals {
+		if math.IsInf(v, 1) {
+			anyInf = true
+			continue
+		}
+		if math.IsNaN(v) {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if math.IsInf(lo, 1) {
+		return "[all inf]"
+	}
+	if anyInf {
+		return fmt.Sprintf("[%.2f .. inf]", lo)
+	}
+	return fmt.Sprintf("[%.2f .. %.2f]", lo, hi)
+}
+
+// RenderTrajectory renders the sampled RUM trajectory as sparklines, one
+// block per method in first-seen order: windowed read and write
+// amplification (bursts visible) and space amplification over the run —
+// the paper's Figure-3 evolution, over time instead of phases.
+func RenderTrajectory(samples []Sample, width int) string {
+	if len(samples) == 0 {
+		return "(no samples)\n"
+	}
+	var order []string
+	byMethod := map[string][]Sample{}
+	for _, s := range samples {
+		if _, ok := byMethod[s.Method]; !ok {
+			order = append(order, s.Method)
+		}
+		byMethod[s.Method] = append(byMethod[s.Method], s)
+	}
+	var b strings.Builder
+	for _, m := range order {
+		ss := byMethod[m]
+		ro := make([]float64, len(ss))
+		uo := make([]float64, len(ss))
+		mo := make([]float64, len(ss))
+		for i, s := range ss {
+			ro[i] = s.Win.ReadAmplification()
+			uo[i] = s.Win.WriteAmplification()
+			mo[i] = s.MO
+		}
+		fmt.Fprintf(&b, "— %s (%d samples, %d ops)\n", m, len(ss), ss[len(ss)-1].Seq)
+		fmt.Fprintf(&b, "  RO(win) %s %s\n", Sparkline(ro, width), fmtRange(ro))
+		fmt.Fprintf(&b, "  UO(win) %s %s\n", Sparkline(uo, width), fmtRange(uo))
+		fmt.Fprintf(&b, "  MO      %s %s\n", Sparkline(mo, width), fmtRange(mo))
+	}
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package rum
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestAtomicMeterConcurrent hammers one AtomicMeter from many goroutines and
+// checks the totals are exact — run under -race this also proves safety.
+func TestAtomicMeterConcurrent(t *testing.T) {
+	var m AtomicMeter
+	const workers = 8
+	const perWorker = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				m.CountRead(Base, 64)
+				m.CountRead(Aux, 16)
+				m.CountWrite(Base, 32)
+				m.CountLogicalRead(16)
+				m.CountLogicalWrite(16)
+			}
+		}()
+	}
+	wg.Wait()
+	got := m.Snapshot()
+	const n = workers * perWorker
+	want := Meter{
+		BaseRead: 64 * n, AuxRead: 16 * n, BaseWritten: 32 * n,
+		LogicalRead: 16 * n, LogicalWritten: 16 * n,
+		ReadOps: n, WriteOps: n,
+	}
+	if got != want {
+		t.Fatalf("concurrent totals: got %+v want %+v", got, want)
+	}
+	if ra := got.ReadAmplification(); ra != 5 {
+		t.Fatalf("ReadAmplification = %v, want 5", ra)
+	}
+}
+
+// TestAtomicMeterMerge drains per-goroutine plain Meters into a shared
+// AtomicMeter — the documented sharding pattern.
+func TestAtomicMeterMerge(t *testing.T) {
+	var shared AtomicMeter
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local Meter
+			for i := 0; i < 1000; i++ {
+				local.CountWrite(Aux, 8)
+				local.CountLogicalWrite(8)
+			}
+			shared.Merge(local)
+		}()
+	}
+	wg.Wait()
+	got := shared.Snapshot()
+	if got.AuxWritten != 4*1000*8 || got.WriteOps != 4000 {
+		t.Fatalf("merged totals wrong: %+v", got)
+	}
+	shared.Reset()
+	if s := shared.Snapshot(); s != (Meter{}) {
+		t.Fatalf("Reset left counts: %+v", s)
+	}
+}

@@ -55,6 +55,7 @@ type BufferPool struct {
 	frames   map[PageID]*Frame
 	lru      *list.List // front = most recently used; holds *Frame
 	stats    PoolStats
+	hook     Hook
 }
 
 // NewBufferPool creates a pool of capacity pages over dev. Capacity must be
@@ -74,6 +75,10 @@ func NewBufferPool(dev *Device, capacity int) *BufferPool {
 // Device returns the underlying device.
 func (p *BufferPool) Device() *Device { return p.dev }
 
+// SetHook attaches (or, with nil, detaches) an observer for pool events.
+// Device-level traffic is hooked separately via Device.SetHook.
+func (p *BufferPool) SetHook(h Hook) { p.hook = h }
+
 // Capacity returns the pool capacity in pages.
 func (p *BufferPool) Capacity() int { return p.capacity }
 
@@ -89,9 +94,15 @@ func (p *BufferPool) Fetch(id PageID) (*Frame, error) {
 		p.stats.Hits++
 		f.pins++
 		p.lru.MoveToFront(f.elem)
+		if p.hook != nil {
+			p.hook.StorageEvent(EvHit, id, p.dev.Class(id), 0)
+		}
 		return f, nil
 	}
 	p.stats.Misses++
+	if p.hook != nil {
+		p.hook.StorageEvent(EvMiss, id, p.dev.Class(id), 0)
+	}
 	src, err := p.dev.Read(id)
 	if err != nil {
 		return nil, err
@@ -137,6 +148,9 @@ func (p *BufferPool) evictOne() bool {
 		p.lru.Remove(e)
 		delete(p.frames, f.id)
 		p.stats.Evictions++
+		if p.hook != nil {
+			p.hook.StorageEvent(EvEvict, f.id, p.dev.Class(f.id), 0)
+		}
 		return true
 	}
 	return false
@@ -152,6 +166,9 @@ func (p *BufferPool) flushFrame(f *Frame) {
 	copy(dst, f.data)
 	f.dirty = false
 	p.stats.WriteBacks++
+	if p.hook != nil {
+		p.hook.StorageEvent(EvWriteBack, f.id, p.dev.Class(f.id), 0)
+	}
 }
 
 // Release unpins a frame previously returned by Fetch or NewPage.

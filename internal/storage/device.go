@@ -114,6 +114,7 @@ type Device struct {
 	readCost  uint64
 	writeCost uint64
 	faults    *FaultPlan
+	hook      Hook
 }
 
 // NewDevice creates a device with the given page size and medium, feeding its
@@ -137,6 +138,9 @@ func NewDevice(pageSize int, medium Medium, meter *rum.Meter) *Device {
 
 // InjectFaults arms (or, with nil, disarms) deterministic I/O failures.
 func (d *Device) InjectFaults(plan *FaultPlan) { d.faults = plan }
+
+// SetHook attaches (or, with nil, detaches) an observer for page events.
+func (d *Device) SetHook(h Hook) { d.hook = h }
 
 // faultRead reports whether this read should fail, consuming the budget.
 func (d *Device) faultRead() bool {
@@ -249,6 +253,9 @@ func (d *Device) Read(id PageID) ([]byte, error) {
 	d.stats.PageReads++
 	d.stats.CostUnits += d.readCost
 	d.meter.CountRead(d.class[id], d.pageSize)
+	if d.hook != nil {
+		d.hook.StorageEvent(EvRead, id, d.class[id], d.readCost)
+	}
 	return d.pages[id], nil
 }
 
@@ -267,6 +274,9 @@ func (d *Device) Write(id PageID, data []byte) error {
 	d.stats.PageWrites++
 	d.stats.CostUnits += d.writeCost
 	d.meter.CountWrite(d.class[id], d.pageSize)
+	if d.hook != nil {
+		d.hook.StorageEvent(EvWrite, id, d.class[id], d.writeCost)
+	}
 	copy(d.pages[id], data)
 	return nil
 }
@@ -284,6 +294,9 @@ func (d *Device) WriteInPlace(id PageID) ([]byte, error) {
 	d.stats.PageWrites++
 	d.stats.CostUnits += d.writeCost
 	d.meter.CountWrite(d.class[id], d.pageSize)
+	if d.hook != nil {
+		d.hook.StorageEvent(EvWrite, id, d.class[id], d.writeCost)
+	}
 	return d.pages[id], nil
 }
 

@@ -1,0 +1,58 @@
+package storage
+
+import "repro/internal/rum"
+
+// Event identifies one kind of physical storage event, emitted by a Device
+// or BufferPool to an attached Hook. Together the events let an observer
+// attribute every physical page touch — and its medium-weighted cost — to
+// the logical operation that caused it.
+type Event uint8
+
+const (
+	// EvRead is a device page read.
+	EvRead Event = iota
+	// EvWrite is a device page write (including in-place writes).
+	EvWrite
+	// EvHit is a buffer pool hit: the page was served without device traffic.
+	EvHit
+	// EvMiss is a buffer pool miss; the device read that repairs it follows
+	// as a separate EvRead.
+	EvMiss
+	// EvEvict is a buffer pool eviction of an unpinned frame.
+	EvEvict
+	// EvWriteBack is a dirty frame flushed to the device; the underlying
+	// device write also arrives as EvWrite.
+	EvWriteBack
+)
+
+// String names the event as used in exported metrics.
+func (e Event) String() string {
+	switch e {
+	case EvRead:
+		return "read"
+	case EvWrite:
+		return "write"
+	case EvHit:
+		return "hit"
+	case EvMiss:
+		return "miss"
+	case EvEvict:
+		return "eviction"
+	case EvWriteBack:
+		return "writeback"
+	default:
+		return "unknown"
+	}
+}
+
+// Hook observes physical storage events. Implementations must be cheap and
+// must not call back into the emitting Device or BufferPool. A nil hook is
+// the default and costs a single pointer comparison per event site, keeping
+// the untraced path allocation-free.
+//
+// cost is the medium-weighted access cost of the event in abstract time
+// units (0 for pool-level events such as hits, whose whole point is that
+// they are free).
+type Hook interface {
+	StorageEvent(ev Event, id PageID, class rum.Class, cost uint64)
+}
