@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: check build vet test race bench golden
+.PHONY: check build vet test race racecheck bench golden
 
-## check: the full gate — build, vet, and race-enabled tests.
-check: build vet race
+## check: the full gate — build, vet, race-enabled tests, and the
+## single-owner assertion build.
+check: build vet race racecheck
 
 build:
 	$(GO) build ./...
@@ -16,6 +17,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+## racecheck: build with the storage single-owner assertions compiled in and
+## run the ownership tests against them.
+racecheck:
+	$(GO) build -tags racecheck ./...
+	$(GO) test -tags racecheck ./internal/storage/
 
 ## bench: the hot-path comparison quoted in PR descriptions
 ## (nil-hook must stay allocation-free and within noise of untraced).

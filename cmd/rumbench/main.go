@@ -7,12 +7,19 @@
 //	rumbench -exp all
 //	rumbench -exp table1,fig1 -n 65536 -ops 20000
 //	rumbench -exp fig3 -quick
+//	rumbench -exp all -parallel 8
 //	rumbench -exp table1 -trace out.jsonl -timeseries ts.csv -metrics metrics.txt
 //
 // The -trace/-timeseries/-metrics flags attach an observability layer
 // (internal/obs) to every traced experiment (table1, fig1, fig3,
 // conjecture): per-operation JSONL spans, a CSV RUM time series, and a
 // Prometheus-style metrics exposition.
+//
+// The -parallel flag sizes the run-cell worker pool (0 = GOMAXPROCS,
+// 1 = fully sequential). Every run cell owns an isolated storage stack and
+// results are merged in enumeration order, so stdout and every exported
+// artifact are byte-identical regardless of worker count; only wall-clock
+// time changes. Timing lines go to stderr for the same reason.
 package main
 
 import (
@@ -20,7 +27,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/debug"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/bench"
@@ -31,25 +40,40 @@ import (
 var knownExps = []string{"props", "table1", "fig1", "fig2", "fig3", "conjecture", "adaptive", "extensions"}
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole program behind main: parse args, execute the selected
+// experiments, write artifacts. stdout carries only deterministic content
+// (experiment output, export summaries); timing, stacks, and pool chatter go
+// to stderr. Returns the process exit code: 0 clean, 1 if any experiment
+// failed or an export could not be written, 2 on usage errors.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rumbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exps       = flag.String("exp", "all", "comma-separated experiments: "+strings.Join(knownExps, ",")+",all")
-		n          = flag.Int("n", 0, "dataset size in records (0 = per-experiment default)")
-		ops        = flag.Int("ops", 0, "measured operations per run (0 = default)")
-		seed       = flag.Int64("seed", 1, "deterministic seed")
-		m          = flag.Int("m", 256, "range query result size for table1")
-		quick      = flag.Bool("quick", false, "small sizes for a fast pass")
-		trace      = flag.String("trace", "", "write per-operation JSONL spans to this file")
-		timeseries = flag.String("timeseries", "", "write the RUM time-series CSV to this file")
-		metrics    = flag.String("metrics", "", "write a Prometheus-style metrics exposition to this file")
-		sample     = flag.Int("sample", 256, "operations between time-series samples")
+		exps       = fs.String("exp", "all", "comma-separated experiments: "+strings.Join(knownExps, ",")+",all")
+		n          = fs.Int("n", 0, "dataset size in records (0 = per-experiment default)")
+		ops        = fs.Int("ops", 0, "measured operations per run (0 = default)")
+		seed       = fs.Int64("seed", 1, "deterministic seed")
+		m          = fs.Int("m", 256, "range query result size for table1")
+		quick      = fs.Bool("quick", false, "small sizes for a fast pass")
+		parallel   = fs.Int("parallel", 0, "run-cell worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+		trace      = fs.String("trace", "", "write per-operation JSONL spans to this file")
+		timeseries = fs.String("timeseries", "", "write the RUM time-series CSV to this file")
+		metrics    = fs.String("metrics", "", "write a Prometheus-style metrics exposition to this file")
+		sample     = fs.Int("sample", 256, "operations between time-series samples")
 	)
-	flag.Parse()
-	if flag.NArg() > 0 {
-		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "rumbench: unexpected arguments: %v\n", fs.Args())
+		return 2
 	}
 
-	cfg := bench.Config{Seed: *seed, N: *n, Ops: *ops}
+	runner := bench.NewRunner(*parallel)
+	cfg := bench.Config{Seed: *seed, N: *n, Ops: *ops, Runner: runner}
 	if *quick {
 		if cfg.N == 0 {
 			cfg.N = 8192
@@ -70,16 +94,16 @@ func main() {
 			continue
 		}
 		if !valid[e] {
-			fmt.Fprintf(os.Stderr, "rumbench: unknown experiment %q; known experiments: %s, all\n",
+			fmt.Fprintf(stderr, "rumbench: unknown experiment %q; known experiments: %s, all\n",
 				e, strings.Join(knownExps, ", "))
-			os.Exit(2)
+			return 2
 		}
 		want[e] = true
 	}
 	if len(want) == 0 {
-		fmt.Fprintf(os.Stderr, "rumbench: no experiments selected; known experiments: %s, all\n",
+		fmt.Fprintf(stderr, "rumbench: no experiments selected; known experiments: %s, all\n",
 			strings.Join(knownExps, ", "))
-		os.Exit(2)
+		return 2
 	}
 	all := want["all"]
 
@@ -90,50 +114,133 @@ func main() {
 		cfg.Storage.Hook = observer
 	}
 
-	run := func(name string, fn func() string) {
-		if !all && !want[name] {
-			return
+	type expJob struct {
+		name string
+		fn   func(bench.Config) string
+	}
+	byName := map[string]func(bench.Config) string{
+		"props": func(c bench.Config) string { return bench.RunProps(c).Render() },
+		"table1": func(c bench.Config) string {
+			ns := []int{1 << 14, 1 << 16, 1 << 18}
+			if *quick {
+				ns = []int{1 << 12, 1 << 14}
+			}
+			return bench.RunTable1(c, ns, *m).Render()
+		},
+		"fig1": func(c bench.Config) string { return bench.RunFig1(c).Render() },
+		"fig2": func(c bench.Config) string { return bench.RunFig2(c).Render() },
+		"fig3": func(c bench.Config) string {
+			if c.N == 0 {
+				c.N = 16384
+			}
+			if c.Ops == 0 {
+				c.Ops = 8000
+			}
+			return bench.RunFig3(c).Render()
+		},
+		"conjecture": func(c bench.Config) string {
+			if c.N == 0 {
+				c.N = 16384
+			}
+			if c.Ops == 0 {
+				c.Ops = 8000
+			}
+			return bench.RunConjecture(c).Render()
+		},
+		"adaptive":   func(c bench.Config) string { return bench.RunAdaptive(c).Render() },
+		"extensions": func(c bench.Config) string { return bench.RunExtensions(c).Render() },
+	}
+	var jobs []expJob
+	for _, name := range knownExps {
+		if all || want[name] {
+			jobs = append(jobs, expJob{name: name, fn: byName[name]})
 		}
-		fmt.Printf("==== %s ====\n", name)
-		start := time.Now()
-		fmt.Println(fn())
-		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 
-	run("props", func() string { return bench.RunProps(cfg).Render() })
-	run("table1", func() string {
-		ns := []int{1 << 14, 1 << 16, 1 << 18}
-		if *quick {
-			ns = []int{1 << 12, 1 << 14}
+	// Each experiment runs against a child observer and buffers its rendered
+	// output; the main goroutine prints results and absorbs children strictly
+	// in enumeration order, so worker count never shows in the artifacts. A
+	// panic (including the *bench.SuiteError a partially failed experiment
+	// raises after finishing its surviving cells) is reported deterministically
+	// on stdout, the stack on stderr, and the remaining experiments still run.
+	type expResult struct {
+		out     string
+		errText string
+		stack   []byte
+		dur     time.Duration
+		child   *obs.Observer
+	}
+	results := make([]expResult, len(jobs))
+	runExp := func(i int) {
+		ecfg := cfg
+		if observer != nil {
+			child := observer.Child()
+			results[i].child = child
+			ecfg.Obs = child
+			ecfg.Storage.Hook = child
 		}
-		return bench.RunTable1(cfg, ns, *m).Render()
-	})
-	run("fig1", func() string { return bench.RunFig1(cfg).Render() })
-	run("fig2", func() string { return bench.RunFig2(cfg).Render() })
-	run("fig3", func() string {
-		c := cfg
-		if c.N == 0 {
-			c.N = 16384
+		start := time.Now()
+		defer func() {
+			results[i].dur = time.Since(start)
+			if v := recover(); v != nil {
+				results[i].errText = fmt.Sprintf("FAILED: %v", v)
+				results[i].stack = debug.Stack()
+			}
+		}()
+		results[i].out = jobs[i].fn(ecfg)
+	}
+
+	failures := 0
+	report := func(i int) {
+		r := &results[i]
+		fmt.Fprintf(stdout, "==== %s ====\n", jobs[i].name)
+		if r.errText != "" {
+			failures++
+			fmt.Fprintln(stdout, r.errText)
+			fmt.Fprintf(stderr, "rumbench: %s failed:\n%s", jobs[i].name, r.stack)
+		} else {
+			fmt.Fprintln(stdout, r.out)
 		}
-		if c.Ops == 0 {
-			c.Ops = 8000
+		fmt.Fprintln(stdout)
+		fmt.Fprintf(stderr, "(%s in %v)\n", jobs[i].name, r.dur.Round(time.Millisecond))
+		if r.child != nil {
+			r.child.Finish()
+			observer.Absorb(r.child)
 		}
-		return bench.RunFig3(c).Render()
-	})
-	run("conjecture", func() string {
-		c := cfg
-		if c.N == 0 {
-			c.N = 16384
+	}
+
+	if runner.Workers() > 1 && len(jobs) > 1 {
+		// Experiments overlap on plain goroutines — cheap coordinators whose
+		// run cells share the runner's bounded pool (experiment goroutines
+		// must not hold pool slots themselves, or nested scheduling could
+		// starve). Reporting still waits for jobs in enumeration order.
+		done := make([]chan struct{}, len(jobs))
+		var wg sync.WaitGroup
+		for i := range jobs {
+			done[i] = make(chan struct{})
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer close(done[i])
+				runExp(i)
+			}(i)
 		}
-		if c.Ops == 0 {
-			c.Ops = 8000
+		for i := range jobs {
+			<-done[i]
+			report(i)
 		}
-		return bench.RunConjecture(c).Render()
-	})
-	run("adaptive", func() string { return bench.RunAdaptive(cfg).Render() })
-	run("extensions", func() string { return bench.RunExtensions(cfg).Render() })
+		wg.Wait()
+	} else {
+		for i := range jobs {
+			runExp(i)
+			report(i)
+		}
+	}
+	stats := runner.Stats()
+	fmt.Fprintf(stderr, "(pool: %d workers, %d cells, %d failed)\n", runner.Workers(), stats.Cells, stats.Failed)
 
 	if observer != nil {
+		exportErr := false
 		export := func(path, what string, write func(io.Writer) error) {
 			if path == "" {
 				return
@@ -146,23 +253,24 @@ func main() {
 				}
 			}
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "rumbench: %s: %v\n", what, err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "rumbench: %s: %v\n", what, err)
+				exportErr = true
+				return
 			}
+			fmt.Fprintf(stderr, "  %s → %s\n", what, path)
 		}
 		export(*trace, "trace", observer.WriteTrace)
 		export(*timeseries, "timeseries", observer.WriteTimeSeries)
 		export(*metrics, "metrics", observer.WriteMetrics)
-		fmt.Printf("observability: %d spans (%d dropped), %d samples, %d page events attributed\n",
+		fmt.Fprintf(stdout, "observability: %d spans (%d dropped), %d samples, %d page events attributed\n",
 			len(observer.Spans()), observer.Dropped(), len(observer.Samples()), observer.Totals().Touched())
-		if *trace != "" {
-			fmt.Printf("  trace      → %s\n", *trace)
-		}
-		if *timeseries != "" {
-			fmt.Printf("  timeseries → %s\n", *timeseries)
-		}
-		if *metrics != "" {
-			fmt.Printf("  metrics    → %s\n", *metrics)
+		if exportErr {
+			return 1
 		}
 	}
+	if failures > 0 {
+		fmt.Fprintf(stderr, "rumbench: %d experiment(s) failed\n", failures)
+		return 1
+	}
+	return 0
 }

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// suiteArtifacts runs the whole program in-process at the given pool width
+// and returns stdout plus the three exported observability artifacts.
+func suiteArtifacts(t *testing.T, parallel string) map[string][]byte {
+	t.Helper()
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.jsonl")
+	ts := filepath.Join(dir, "ts.csv")
+	metrics := filepath.Join(dir, "metrics.txt")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-exp", "all", "-quick", "-n", "2048", "-ops", "1000", "-seed", "42",
+		"-parallel", parallel,
+		"-trace", trace, "-timeseries", ts, "-metrics", metrics,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run(-parallel %s) exited %d; stderr:\n%s", parallel, code, stderr.String())
+	}
+	out := map[string][]byte{"stdout": stdout.Bytes()}
+	for name, path := range map[string]string{"trace": trace, "timeseries": ts, "metrics": metrics} {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("-parallel %s wrote no %s: %v", parallel, name, err)
+		}
+		if len(b) == 0 {
+			t.Fatalf("-parallel %s: empty %s", parallel, name)
+		}
+		out[name] = b
+	}
+	return out
+}
+
+// TestParallelDeterminism is the tentpole guarantee: the full suite at
+// -parallel 1 and -parallel 8 must produce byte-identical stdout, trace
+// JSONL, time-series CSV, and metrics text for a fixed seed. Only wall-clock
+// time may differ between pool widths.
+func TestParallelDeterminism(t *testing.T) {
+	seq := suiteArtifacts(t, "1")
+	par := suiteArtifacts(t, "8")
+	for _, name := range []string{"stdout", "trace", "timeseries", "metrics"} {
+		a, b := seq[name], par[name]
+		if bytes.Equal(a, b) {
+			continue
+		}
+		// Locate the first divergent line for a readable failure.
+		la, lb := bytes.Split(a, []byte("\n")), bytes.Split(b, []byte("\n"))
+		for i := 0; i < len(la) && i < len(lb); i++ {
+			if !bytes.Equal(la[i], lb[i]) {
+				t.Fatalf("%s differs between -parallel 1 and -parallel 8 at line %d:\n  seq: %s\n  par: %s",
+					name, i+1, la[i], lb[i])
+			}
+		}
+		t.Fatalf("%s differs in length: %d vs %d bytes", name, len(a), len(b))
+	}
+}
+
+// TestRunUsageErrors checks argument validation exits 2 without running.
+func TestRunUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-exp", "nonsense"},
+		{"-exp", ""},
+		{"stray"},
+		{"-badflag"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+		if stdout.Len() != 0 {
+			t.Errorf("run(%v) wrote to stdout: %q", args, stdout.String())
+		}
+	}
+}

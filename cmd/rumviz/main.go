@@ -8,6 +8,11 @@
 //	rumviz -methods btree,hash,lsm-level -get 0.9 -update 0.1
 //	rumviz -absolute                        # plot absolute amplifications
 //	rumviz -trajectory                      # RUM trajectory sparklines per method
+//	rumviz -parallel 8                      # profile methods concurrently
+//
+// Each method profiles on its own isolated storage stack; with -parallel the
+// profiles run concurrently and are merged in catalog order, so the rendered
+// triangle and trajectories are identical at any worker count.
 package main
 
 import (
@@ -38,10 +43,10 @@ func main() {
 		absolute   = flag.Bool("absolute", false, "plot absolute amplification instead of cohort-relative position")
 		trajectory = flag.Bool("trajectory", false, "render RUM trajectory sparklines (windowed RO/UO and MO over the run)")
 		sample     = flag.Int("sample", 0, "operations between trajectory samples (0 = ops/60)")
+		parallel   = flag.Int("parallel", 0, "profile worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
-	opt := methods.Options{PoolPages: 8}
 	var tracer *obs.Observer
 	if *trajectory {
 		every := *sample
@@ -49,38 +54,74 @@ func main() {
 			every = *ops / 60
 		}
 		tracer = obs.New(obs.Config{SampleEvery: every})
-		opt.Hook = tracer
 	}
-	specs := methods.Catalog(opt)
+
+	// Resolve the method list up front (against throwaway options — each
+	// profile re-looks its spec up with its own hook) so bad names fail fast.
+	var names []string
 	if *list != "" {
-		var chosen []methods.Spec
 		for _, name := range strings.Split(*list, ",") {
-			s, err := methods.Lookup(opt, strings.TrimSpace(name))
-			if err != nil {
+			name = strings.TrimSpace(name)
+			if _, err := methods.Lookup(methods.Options{}, name); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(2)
 			}
-			chosen = append(chosen, s)
+			names = append(names, name)
 		}
-		specs = chosen
+	} else {
+		for _, s := range methods.Catalog(methods.Options{}) {
+			names = append(names, s.Name)
+		}
 	}
 
 	mix := workload.Mix{Get: *get, Range: *rng, Insert: *insert, Update: *update, Delete: *del}
-	var pts []bench.NamedPoint
-	var raw []rum.Point
-	for _, spec := range specs {
+	runner := bench.NewRunner(*parallel)
+	points := make([]rum.Point, len(names))
+	children := make([]*obs.Observer, len(names))
+	errs := runner.Map(len(names), func(i int) {
+		opt := methods.Options{PoolPages: 8}
+		var child *obs.Observer
+		if tracer != nil {
+			child = tracer.Child()
+			children[i] = child
+			opt.Hook = child
+		}
+		spec, err := methods.Lookup(opt, names[i])
+		if err != nil {
+			panic(err)
+		}
 		gen := workload.New(workload.Config{Seed: 1, Mix: mix, InitialLen: *n, RangeLen: 1 << 30})
 		am := spec.New()
-		if tracer != nil {
-			tracer.Target(am, spec.Name)
+		if child != nil {
+			child.Target(am, spec.Name)
 		}
 		prof, err := core.RunProfile(am, gen, *ops)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			panic(err)
 		}
-		pts = append(pts, bench.NamedPoint{Label: spec.Name, Point: prof.Point})
-		raw = append(raw, prof.Point)
+		if child != nil {
+			child.Finish()
+		}
+		points[i] = prof.Point
+	})
+
+	failed := false
+	var pts []bench.NamedPoint
+	var raw []rum.Point
+	for i, name := range names {
+		if e := errs[i]; e != nil {
+			fmt.Fprintf(os.Stderr, "rumviz: %s: %v\n", name, e.Value)
+			failed = true
+			continue
+		}
+		if children[i] != nil {
+			tracer.Absorb(children[i])
+		}
+		pts = append(pts, bench.NamedPoint{Label: name, Point: points[i]})
+		raw = append(raw, points[i])
+	}
+	if failed {
+		os.Exit(1)
 	}
 	if !*absolute {
 		ws := rum.RelativeWeights(raw)

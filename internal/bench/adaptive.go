@@ -58,8 +58,9 @@ func RunAdaptive(cfg Config) AdaptiveResult {
 	cfg.Defaults()
 	res := AdaptiveResult{N: cfg.N}
 
-	// --- Part 1: cracking convergence ---
-	{
+	// The two parts are independent structures and run as separate cells;
+	// each writes a disjoint set of result fields.
+	cracked := func(cfg Config) {
 		st := cracking.New(1<<20, nil)
 		recs := makeRecords(cfg.Seed, cfg.N)
 		// Load via the unsorted path: cracking starts from an unordered heap.
@@ -97,8 +98,7 @@ func RunAdaptive(cfg Config) AdaptiveResult {
 		res.Converged = res.LastOverN < res.FirstOverN/5
 	}
 
-	// --- Part 2: morphing under workload shift ---
-	{
+	morphing := func(cfg Config) {
 		m, err := core.NewMorphing(methods.Flavors(cfg.Storage), 0, core.MorphPolicy{})
 		if err != nil {
 			panic(err)
@@ -148,6 +148,11 @@ func RunAdaptive(cfg Config) AdaptiveResult {
 		}
 		res.Migrations = m.Migrations()
 	}
+
+	cfg.runCells("adaptive", []Cell{
+		{Label: "cracking", Run: cracked},
+		{Label: "morphing", Run: morphing},
+	})
 	return res
 }
 

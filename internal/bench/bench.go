@@ -30,7 +30,16 @@ type Config struct {
 	// Obs, when non-nil, traces every structure an experiment profiles:
 	// spans, histograms, and the RUM time series. Set Storage.Hook to the
 	// same observer to attribute page events too (cmd/rumbench does both).
+	// Experiments never hand this observer to their run cells directly:
+	// each cell traces into an isolated child observer, and the children
+	// are absorbed back in cell order once the experiment's cells are done.
 	Obs *obs.Observer
+	// Runner executes the experiment's run cells. nil (or a 1-worker
+	// runner) runs every cell inline in enumeration order — the fully
+	// sequential behaviour; a wider runner executes cells concurrently,
+	// each on its own isolated storage stack. Results are identical either
+	// way; only wall-clock changes.
+	Runner *Runner
 }
 
 // observe points the run's observer (if any) at a freshly built structure.
@@ -54,7 +63,19 @@ func (c *Config) Defaults() {
 }
 
 // makeRecords returns n records with unique scattered keys, sorted by key.
+// Generation is memoized per (seed, n) — many cells of one suite ask for the
+// same dataset, concurrently — and the canonical slice is kept immutable:
+// callers get a private copy they may hand to structures that take ownership.
 func makeRecords(seed int64, n int) []core.Record {
+	e, _ := recordCache.LoadOrStore(recordKey{seed: seed, n: n}, &recordEntry{})
+	entry := e.(*recordEntry)
+	entry.once.Do(func() { entry.recs = generateRecords(seed, n) })
+	out := make([]core.Record, len(entry.recs))
+	copy(out, entry.recs)
+	return out
+}
+
+func generateRecords(seed int64, n int) []core.Record {
 	rng := rand.New(rand.NewSource(seed))
 	seen := make(map[uint64]bool, n)
 	recs := make([]core.Record, 0, n)

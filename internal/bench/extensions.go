@@ -40,14 +40,16 @@ type ExtensionsResult struct {
 	VEBMO       float64
 }
 
-// RunExtensions measures the three extension claims.
+// RunExtensions measures the three extension claims. The approximate-index
+// comparison, each differential-structure insert run, and the cache-oblivious
+// ablation are all independent — five run cells.
 func RunExtensions(cfg Config) ExtensionsResult {
 	cfg.Defaults()
 	res := ExtensionsResult{N: cfg.N}
-	recs := makeRecords(cfg.Seed, cfg.N)
 
 	// --- Approximate indexing: misses inside zone ranges ---
-	{
+	approxCell := func(cfg Config) {
+		recs := makeRecords(cfg.Seed, cfg.N)
 		zm := zonemap.New(256, nil)
 		ap := approx.New(approx.Config{Partition: 256, FingerprintBits: 20}, nil)
 		if err := zm.BulkLoad(recs); err != nil {
@@ -72,59 +74,66 @@ func RunExtensions(cfg Config) ExtensionsResult {
 	}
 
 	// --- Differential structures: insert write cost ---
-	{
-		type inserter interface {
-			Insert(core.Key, core.Value) error
-			Flush()
+	type inserter interface {
+		Insert(core.Key, core.Value) error
+		Flush()
+	}
+	// The differential advantage needs data well beyond the pool (8 pages
+	// = 2k records), or the buffer pool absorbs the in-place tree's
+	// writes too.
+	inserts := cfg.Ops
+	if inserts < 20000 {
+		inserts = 20000
+	}
+	// The active partition must fit the pool (8 pages ≈ 2k records) for
+	// its writes to be absorbed — that is the design's point.
+	partition := inserts / 8
+	if partition < 256 {
+		partition = 256
+	}
+	if partition > 1024 {
+		partition = 1024
+	}
+	// Each differential run owns a private device + pool, independent of the
+	// cell Config's storage stack.
+	insertRun := func(seed int64, build func(pool *storage.BufferPool) inserter) uint64 {
+		dev := storage.NewDevice(4096, storage.SSD, nil)
+		pool := storage.NewBufferPool(dev, 8)
+		am := build(pool)
+		rng := rand.New(rand.NewSource(seed + 22))
+		for i := 0; i < inserts; i++ {
+			_ = am.Insert(rng.Uint64()>>24, 1)
 		}
-		// The differential advantage needs data well beyond the pool (8 pages
-		// = 2k records), or the buffer pool absorbs the in-place tree's
-		// writes too.
-		inserts := cfg.Ops
-		if inserts < 20000 {
-			inserts = 20000
-		}
-		// The active partition must fit the pool (8 pages ≈ 2k records) for
-		// its writes to be absorbed — that is the design's point.
-		partition := inserts / 8
-		if partition < 256 {
-			partition = 256
-		}
-		if partition > 1024 {
-			partition = 1024
-		}
-		run := func(build func(pool *storage.BufferPool) inserter) uint64 {
-			dev := storage.NewDevice(4096, storage.SSD, nil)
-			pool := storage.NewBufferPool(dev, 8)
-			am := build(pool)
-			rng := rand.New(rand.NewSource(cfg.Seed + 22))
-			for i := 0; i < inserts; i++ {
-				_ = am.Insert(rng.Uint64()>>24, 1)
-			}
-			am.Flush()
-			return dev.Stats().PageWrites
-		}
-		res.BTreeWrites = run(func(p *storage.BufferPool) inserter {
+		am.Flush()
+		return dev.Stats().PageWrites
+	}
+	btreeCell := func(cfg Config) {
+		res.BTreeWrites = insertRun(cfg.Seed, func(p *storage.BufferPool) inserter {
 			t, err := btree.New(p, btree.Config{})
 			if err != nil {
 				panic(err)
 			}
 			return t
 		})
-		res.PBTWrites = run(func(p *storage.BufferPool) inserter {
+	}
+	pbtCell := func(cfg Config) {
+		res.PBTWrites = insertRun(cfg.Seed, func(p *storage.BufferPool) inserter {
 			t, err := pbt.New(p, pbt.Config{PartitionRecords: partition, MergeFanIn: 4})
 			if err != nil {
 				panic(err)
 			}
 			return t
 		})
-		res.LSMWrites = run(func(p *storage.BufferPool) inserter {
+	}
+	lsmCell := func(cfg Config) {
+		res.LSMWrites = insertRun(cfg.Seed, func(p *storage.BufferPool) inserter {
 			return lsm.New(p, lsm.Config{MemtableRecords: partition, SizeRatio: 10})
 		})
 	}
 
 	// --- Cache-oblivious ablation ---
-	{
+	cobtreeCell := func(cfg Config) {
+		recs := makeRecords(cfg.Seed, cfg.N)
 		tr, err := cobtree.Build(recs, nil)
 		if err != nil {
 			panic(err)
@@ -141,6 +150,14 @@ func RunExtensions(cfg Config) ExtensionsResult {
 		res.BinaryLines = float64(bin) / searches
 		res.VEBMO = tr.Size().SpaceAmplification()
 	}
+
+	cfg.runCells("extensions", []Cell{
+		{Label: "approx-vs-zonemap", Run: approxCell},
+		{Label: "writes/btree", Run: btreeCell},
+		{Label: "writes/pbt", Run: pbtCell},
+		{Label: "writes/lsm", Run: lsmCell},
+		{Label: "cobtree-ablation", Run: cobtreeCell},
+	})
 	return res
 }
 

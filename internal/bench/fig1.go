@@ -86,24 +86,42 @@ func RunFig1(cfg Config) Fig1Result {
 	}
 	res := Fig1Result{N: cfg.N, Ops: cfg.Ops, Expected: map[string]string{}}
 	var expected []rum.Corner
-	for _, spec := range methods.Catalog(cfg.Storage) {
-		gen := workload.New(workload.Config{
-			Seed:       cfg.Seed,
-			Mix:        fig1Mix,
-			InitialLen: cfg.N,
-			RangeLen:   1 << 30, // wide spans over the sparse 40-bit key domain
-		})
-		am := spec.New()
-		cfg.observe(am, spec.Name)
-		prof, err := core.RunProfile(am, gen, cfg.Ops)
-		if err != nil {
-			panic(fmt.Sprintf("fig1: %s: %v", spec.Name, err))
-		}
-		prof.Name = spec.Name
-		res.Profiles = append(res.Profiles, prof)
-		res.Expected[spec.Name] = spec.Corner.String()
+	// One run cell per catalog structure. The spec is re-looked-up inside the
+	// cell so the structure is built against the cell's own Options (and its
+	// isolated storage hook), not the enumeration-time ones.
+	catalog := methods.Catalog(cfg.Storage)
+	profiles := make([]core.Profile, len(catalog))
+	cells := make([]Cell, len(catalog))
+	for i, spec := range catalog {
+		i, name := i, spec.Name
+		res.Expected[name] = spec.Corner.String()
 		expected = append(expected, spec.Corner)
+		cells[i] = Cell{
+			Label: name,
+			Run: func(ccfg Config) {
+				cspec, err := methods.Lookup(ccfg.Storage, name)
+				if err != nil {
+					panic(fmt.Sprintf("fig1: %s: %v", name, err))
+				}
+				gen := workload.New(workload.Config{
+					Seed:       ccfg.Seed,
+					Mix:        fig1Mix,
+					InitialLen: ccfg.N,
+					RangeLen:   1 << 30, // wide spans over the sparse 40-bit key domain
+				})
+				am := cspec.New()
+				ccfg.observe(am, name)
+				prof, err := core.RunProfile(am, gen, ccfg.Ops)
+				if err != nil {
+					panic(fmt.Sprintf("fig1: %s: %v", name, err))
+				}
+				prof.Name = name
+				profiles[i] = prof
+			},
+		}
 	}
+	cfg.runCells("fig1", cells)
+	res.Profiles = profiles
 	pts := make([]rum.Point, len(res.Profiles))
 	for i, p := range res.Profiles {
 		pts[i] = p.Point

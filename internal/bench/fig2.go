@@ -46,49 +46,60 @@ func RunFig2(cfg Config) Fig2Result {
 		Ops:       ops,
 		Levels:    []string{"cache", "ram", "disk"},
 	}
+	// Every sweep point builds its own private hierarchy, so each is one
+	// independent run cell.
 	fractions := []float64{0.01, 0.05, 0.10, 0.25, 0.50, 0.75}
-	for _, frac := range fractions {
-		ramPages := int(frac * float64(dataPages))
-		if ramPages < 1 {
-			ramPages = 1
+	points := make([]Fig2Point, len(fractions))
+	cells := make([]Cell, len(fractions))
+	for i, frac := range fractions {
+		i, frac := i, frac
+		cells[i] = Cell{
+			Label: fmt.Sprintf("ram=%.0f%%", frac*100),
+			Run: func(ccfg Config) {
+				ramPages := int(frac * float64(dataPages))
+				if ramPages < 1 {
+					ramPages = 1
+				}
+				h, err := hierarchy.New(4096, []hierarchy.Level{
+					{Name: "cache", Capacity: dataPages / 100, Medium: storage.RAM},
+					{Name: "ram", Capacity: ramPages, Medium: storage.RAM},
+					{Name: "disk", Medium: storage.HDD},
+				})
+				if err != nil {
+					panic(err)
+				}
+				h.Populate(dataPages)
+				rng := rand.New(rand.NewSource(ccfg.Seed))
+				// Zipf-skewed page accesses: a realistic working set.
+				zipf := rand.NewZipf(rng, 1.2, 1, uint64(dataPages-1))
+				reads, writes := 0, 0
+				for i := 0; i < ops; i++ {
+					p := zipf.Uint64()
+					if rng.Float64() < 0.25 {
+						h.Write(p)
+						writes++
+					} else {
+						h.Read(p)
+						reads++
+					}
+				}
+				h.FlushAll()
+				ram := h.Levels()[1]
+				disk := h.Levels()[2]
+				points[i] = Fig2Point{
+					UpperFrac: frac,
+					UpperMO:   h.SpaceAmplification(1),
+					UpperHit:  float64(ram.Hits()) / float64(ram.Hits()+ram.Misses()),
+					LowerReads: float64(disk.Meter().PhysicalRead()) / 4096 /
+						float64(reads),
+					LowerWrite: float64(disk.Meter().PhysicalWritten()) / 4096 /
+						float64(writes),
+				}
+			},
 		}
-		h, err := hierarchy.New(4096, []hierarchy.Level{
-			{Name: "cache", Capacity: dataPages / 100, Medium: storage.RAM},
-			{Name: "ram", Capacity: ramPages, Medium: storage.RAM},
-			{Name: "disk", Medium: storage.HDD},
-		})
-		if err != nil {
-			panic(err)
-		}
-		h.Populate(dataPages)
-		rng := rand.New(rand.NewSource(cfg.Seed))
-		// Zipf-skewed page accesses: a realistic working set.
-		zipf := rand.NewZipf(rng, 1.2, 1, uint64(dataPages-1))
-		reads, writes := 0, 0
-		for i := 0; i < ops; i++ {
-			p := zipf.Uint64()
-			if rng.Float64() < 0.25 {
-				h.Write(p)
-				writes++
-			} else {
-				h.Read(p)
-				reads++
-			}
-		}
-		h.FlushAll()
-		ram := h.Levels()[1]
-		disk := h.Levels()[2]
-		pt := Fig2Point{
-			UpperFrac: frac,
-			UpperMO:   h.SpaceAmplification(1),
-			UpperHit:  float64(ram.Hits()) / float64(ram.Hits()+ram.Misses()),
-			LowerReads: float64(disk.Meter().PhysicalRead()) / 4096 /
-				float64(reads),
-			LowerWrite: float64(disk.Meter().PhysicalWritten()) / 4096 /
-				float64(writes),
-		}
-		res.Points = append(res.Points, pt)
 	}
+	cfg.runCells("fig2", cells)
+	res.Points = points
 	res.Monotone = true
 	for i := 1; i < len(res.Points); i++ {
 		if res.Points[i].LowerReads > res.Points[i-1].LowerReads+1e-9 {

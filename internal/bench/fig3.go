@@ -48,10 +48,105 @@ type Fig3Result struct {
 // fig3Mix exercises all three overheads: reads, scans, and writes.
 var fig3Mix = workload.Mix{Get: 0.45, Range: 0.05, Insert: 0.25, Update: 0.20, Delete: 0.05}
 
+// fig3Sweep enumerates the whole configuration grid: every entry is one
+// (family, label, builder) triple. Builders take the cell's Config so each
+// configuration is constructed against its own isolated storage stack.
+type fig3Config struct {
+	family string
+	label  string
+	build  func(Config) *core.Instrumented
+}
+
+func fig3Sweep(cfg Config) []fig3Config {
+	var sweep []fig3Config
+	add := func(family, label string, build func(Config) *core.Instrumented) {
+		sweep = append(sweep, fig3Config{family: family, label: label, build: build})
+	}
+
+	// --- B+-tree: node capacity and bulk fill ---
+	for _, maxLeaf := range []int{16, 64, 0} { // 0 = full page
+		for _, fill := range []float64{0.5, 1.0} {
+			maxLeaf, fill := maxLeaf, fill
+			add("btree", fmt.Sprintf("leaf=%d,fill=%.1f", maxLeaf, fill), func(c Config) *core.Instrumented {
+				return methods.NewBTree(c.Storage, btree.Config{MaxLeaf: maxLeaf, BulkFill: fill})
+			})
+		}
+	}
+
+	// --- LSM: size ratio, tier/level, bloom bits ---
+	for _, t := range []int{2, 4, 10} {
+		for _, tier := range []bool{false, true} {
+			for _, bloomBits := range []float64{0, 10} {
+				t, tier, bloomBits := t, tier, bloomBits
+				mode := "level"
+				if tier {
+					mode = "tier"
+				}
+				add("lsm", fmt.Sprintf("T=%d,%s,bloom=%g", t, mode, bloomBits), func(c Config) *core.Instrumented {
+					return methods.NewLSM(c.Storage, lsm.Config{
+						MemtableRecords: 1024, SizeRatio: t, Tiering: tier, BloomBitsPerKey: bloomBits,
+					})
+				})
+			}
+		}
+	}
+
+	// --- Zone maps: partition size ---
+	for _, p := range []int{32, 128, 512, 4096} {
+		p := p
+		add("zonemap", fmt.Sprintf("P=%d", p), func(Config) *core.Instrumented {
+			return methods.NewZoneMap(p)
+		})
+	}
+
+	// --- Update-friendly bitmaps: merge threshold ---
+	for _, th := range []int{16, 256, 4096} {
+		th := th
+		add("bitmap", fmt.Sprintf("merge=%d", th), func(Config) *core.Instrumented {
+			return methods.NewBitmap(bitmap.Config{Cardinality: 16, MergeThreshold: th})
+		})
+	}
+
+	// --- Trie: stride (16-bit strides are omitted: over scattered keys every
+	// record would materialize multiple 2^16-pointer nodes) ---
+	for _, stride := range []uint{4, 8} {
+		stride := stride
+		add("trie", fmt.Sprintf("stride=%d", stride), func(Config) *core.Instrumented {
+			return methods.NewTrie(stride)
+		})
+	}
+
+	// --- Partitioned B-tree: partition size × merge fan-in (partitions
+	// scale with N so every configuration seals and merges during the run) ---
+	for _, part := range []int{cfg.N / 64, cfg.N / 8} {
+		if part < 16 {
+			part = 16
+		}
+		for _, fan := range []int{2, 8} {
+			part, fan := part, fan
+			add("pbt", fmt.Sprintf("part=%d,fan=%d", part, fan), func(c Config) *core.Instrumented {
+				return methods.NewPBT(c.Storage, pbt.Config{PartitionRecords: part, MergeFanIn: fan})
+			})
+		}
+	}
+
+	// --- Approximate index: partition × fingerprint bits ---
+	for _, part := range []int{64, 512} {
+		for _, bits := range []uint{12, 24} {
+			part, bits := part, bits
+			add("approx", fmt.Sprintf("P=%d,fp=%d", part, bits), func(Config) *core.Instrumented {
+				return methods.NewApprox(approx.Config{Partition: part, FingerprintBits: bits})
+			})
+		}
+	}
+	return sweep
+}
+
 // RunFig3 sweeps each tunable structure across its knobs, profiling every
 // configuration under the same workload, and reports the area each family
 // covers in the RUM space — the paper's vision of access methods that
-// "seamlessly transition" between the three corners.
+// "seamlessly transition" between the three corners. Every configuration is
+// one run cell; families are assembled from the cell results in sweep order.
 func RunFig3(cfg Config) Fig3Result {
 	cfg.Defaults()
 	if cfg.Storage.PoolPages == 0 {
@@ -59,116 +154,44 @@ func RunFig3(cfg Config) Fig3Result {
 	}
 	res := Fig3Result{N: cfg.N, Ops: cfg.Ops}
 
-	profile := func(label string, am *core.Instrumented) ConfigPoint {
-		// The structure's own name (e.g. "btree(B=256)") is the trace label:
-		// unlike the sweep label it is unique across families.
-		cfg.observe(am, am.Name())
-		gen := workload.New(workload.Config{
-			Seed:       cfg.Seed,
-			Mix:        fig3Mix,
-			InitialLen: cfg.N,
-			RangeLen:   1 << 30,
-		})
-		prof, err := core.RunProfile(am, gen, cfg.Ops)
-		if err != nil {
-			panic(fmt.Sprintf("fig3: %s: %v", label, err))
-		}
-		return ConfigPoint{Config: label, Point: prof.Point}
-	}
-
-	// --- B+-tree: node capacity and bulk fill ---
-	{
-		fam := Fig3Family{Name: "btree"}
-		for _, maxLeaf := range []int{16, 64, 0} { // 0 = full page
-			for _, fill := range []float64{0.5, 1.0} {
-				label := fmt.Sprintf("leaf=%d,fill=%.1f", maxLeaf, fill)
-				am := methods.NewBTree(cfg.Storage, btree.Config{MaxLeaf: maxLeaf, BulkFill: fill})
-				fam.Points = append(fam.Points, profile(label, am))
-			}
-		}
-		res.Families = append(res.Families, finishFamily(fam))
-	}
-
-	// --- LSM: size ratio, tier/level, bloom bits ---
-	{
-		fam := Fig3Family{Name: "lsm"}
-		for _, t := range []int{2, 4, 10} {
-			for _, tier := range []bool{false, true} {
-				for _, bloomBits := range []float64{0, 10} {
-					mode := "level"
-					if tier {
-						mode = "tier"
-					}
-					label := fmt.Sprintf("T=%d,%s,bloom=%g", t, mode, bloomBits)
-					am := methods.NewLSM(cfg.Storage, lsm.Config{
-						MemtableRecords: 1024, SizeRatio: t, Tiering: tier, BloomBitsPerKey: bloomBits,
-					})
-					fam.Points = append(fam.Points, profile(label, am))
+	sweep := fig3Sweep(cfg)
+	points := make([]ConfigPoint, len(sweep))
+	cells := make([]Cell, len(sweep))
+	for i, sc := range sweep {
+		i, sc := i, sc
+		cells[i] = Cell{
+			Label: sc.family + ":" + sc.label,
+			Run: func(ccfg Config) {
+				am := sc.build(ccfg)
+				// The structure's own name (e.g. "btree(B=256)") is the trace
+				// label: unlike the sweep label it is unique across families.
+				ccfg.observe(am, am.Name())
+				gen := workload.New(workload.Config{
+					Seed:       ccfg.Seed,
+					Mix:        fig3Mix,
+					InitialLen: ccfg.N,
+					RangeLen:   1 << 30,
+				})
+				prof, err := core.RunProfile(am, gen, ccfg.Ops)
+				if err != nil {
+					panic(fmt.Sprintf("fig3: %s: %v", sc.label, err))
 				}
-			}
+				points[i] = ConfigPoint{Config: sc.label, Point: prof.Point}
+			},
 		}
-		res.Families = append(res.Families, finishFamily(fam))
 	}
+	cfg.runCells("fig3", cells)
 
-	// --- Zone maps: partition size ---
-	{
-		fam := Fig3Family{Name: "zonemap"}
-		for _, p := range []int{32, 128, 512, 4096} {
-			am := methods.NewZoneMap(p)
-			fam.Points = append(fam.Points, profile(fmt.Sprintf("P=%d", p), am))
+	for i, sc := range sweep {
+		if len(res.Families) == 0 || res.Families[len(res.Families)-1].Name != sc.family {
+			res.Families = append(res.Families, Fig3Family{Name: sc.family})
 		}
-		res.Families = append(res.Families, finishFamily(fam))
+		fam := &res.Families[len(res.Families)-1]
+		fam.Points = append(fam.Points, points[i])
 	}
-
-	// --- Update-friendly bitmaps: merge threshold ---
-	{
-		fam := Fig3Family{Name: "bitmap"}
-		for _, th := range []int{16, 256, 4096} {
-			am := methods.NewBitmap(bitmap.Config{Cardinality: 16, MergeThreshold: th})
-			fam.Points = append(fam.Points, profile(fmt.Sprintf("merge=%d", th), am))
-		}
-		res.Families = append(res.Families, finishFamily(fam))
+	for i := range res.Families {
+		res.Families[i] = finishFamily(res.Families[i])
 	}
-
-	// --- Trie: stride (16-bit strides are omitted: over scattered keys every
-	// record would materialize multiple 2^16-pointer nodes) ---
-	{
-		fam := Fig3Family{Name: "trie"}
-		for _, stride := range []uint{4, 8} {
-			am := methods.NewTrie(stride)
-			fam.Points = append(fam.Points, profile(fmt.Sprintf("stride=%d", stride), am))
-		}
-		res.Families = append(res.Families, finishFamily(fam))
-	}
-
-	// --- Partitioned B-tree: partition size × merge fan-in (partitions
-	// scale with N so every configuration seals and merges during the run) ---
-	{
-		fam := Fig3Family{Name: "pbt"}
-		for _, part := range []int{cfg.N / 64, cfg.N / 8} {
-			if part < 16 {
-				part = 16
-			}
-			for _, fan := range []int{2, 8} {
-				am := methods.NewPBT(cfg.Storage, pbt.Config{PartitionRecords: part, MergeFanIn: fan})
-				fam.Points = append(fam.Points, profile(fmt.Sprintf("part=%d,fan=%d", part, fan), am))
-			}
-		}
-		res.Families = append(res.Families, finishFamily(fam))
-	}
-
-	// --- Approximate index: partition × fingerprint bits ---
-	{
-		fam := Fig3Family{Name: "approx"}
-		for _, part := range []int{64, 512} {
-			for _, bits := range []uint{12, 24} {
-				am := methods.NewApprox(approx.Config{Partition: part, FingerprintBits: bits})
-				fam.Points = append(fam.Points, profile(fmt.Sprintf("P=%d,fp=%d", part, bits), am))
-			}
-		}
-		res.Families = append(res.Families, finishFamily(fam))
-	}
-
 	return res
 }
 

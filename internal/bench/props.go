@@ -43,8 +43,11 @@ func RunProps(cfg Config) PropsResult {
 
 	domain := uint64(n) * 1024 // sparse domain: values 1024x wider than N
 
-	// --- Prop 1: direct-address array ---
-	{
+	// Each proposition drives its own in-memory structure — three
+	// independent run cells, merged in proposition order.
+	results := make([]PropResult, 3)
+
+	prop1 := func(cfg Config) {
 		d := extreme.NewDirectArray(domain)
 		vals := distinctValues(cfg.Seed, n, domain)
 		for _, v := range vals {
@@ -66,16 +69,15 @@ func RunProps(cfg Config) PropsResult {
 		m := d.Meter().Diff(start)
 		p := rum.PointOf(m, d.Size())
 		holds := p.R == 1.0 && p.U > 1.9 && p.U <= 2.0+1e-9 && p.M > 100
-		res.Results = append(res.Results, PropResult{
+		results[0] = PropResult{
 			Prop: 1, Structure: d.Name(),
 			Claim: "min(RO)=1.0 ⇒ UO=2.0, MO unbounded",
 			Point: p, Holds: holds,
 			Detail: fmt.Sprintf("RO=%.3f (claim 1.0), UO=%.3f (claim 2.0 for changes), MO=%.0f (domain/N=%d)", p.R, p.U, p.M, domain/uint64(n)),
-		})
+		}
 	}
 
-	// --- Prop 2: append-only log ---
-	{
+	prop2 := func(cfg Config) {
 		l := extreme.NewAppendLog()
 		vals := distinctValues(cfg.Seed, n, domain)
 		for _, v := range vals {
@@ -98,16 +100,15 @@ func RunProps(cfg Config) PropsResult {
 		late := measureLogRO(l, vals, cfg.Seed+4)
 		p := rum.Point{R: late, U: uo, M: l.Size().SpaceAmplification()}
 		holds := uo <= 1.0+1e-9 && late > early && p.M > 1.5
-		res.Results = append(res.Results, PropResult{
+		results[1] = PropResult{
 			Prop: 2, Structure: l.Name(),
 			Claim: "min(UO)=1.0 ⇒ RO and MO grow without bound",
 			Point: p, Holds: holds,
 			Detail: fmt.Sprintf("UO=%.3f (claim 1.0), RO grew %.1f → %.1f after churn, MO=%.2f and rising", uo, early, late, p.M),
-		})
+		}
 	}
 
-	// --- Prop 3: dense in-place array ---
-	{
+	prop3 := func(cfg Config) {
 		a := extreme.NewDenseArray()
 		vals := distinctValues(cfg.Seed, n, domain)
 		for _, v := range vals {
@@ -133,13 +134,20 @@ func RunProps(cfg Config) PropsResult {
 		p := rum.Point{R: ro, U: uo, M: a.Size().SpaceAmplification()}
 		// Expected scan length ≈ N/2 slots per probe.
 		holds := p.M == 1.0 && uo <= 1.0+1e-9 && ro > float64(n)/8
-		res.Results = append(res.Results, PropResult{
+		results[2] = PropResult{
 			Prop: 3, Structure: a.Name(),
 			Claim: "min(MO)=1.0 ⇒ RO=Θ(N), UO=1.0",
 			Point: p, Holds: holds,
 			Detail: fmt.Sprintf("MO=%.3f (claim 1.0), UO=%.3f (claim 1.0), RO=%.0f ≈ N/2=%d", p.M, uo, ro, n/2),
-		})
+		}
 	}
+
+	cfg.runCells("props", []Cell{
+		{Label: "prop1/direct-array", Run: prop1},
+		{Label: "prop2/append-log", Run: prop2},
+		{Label: "prop3/dense-array", Run: prop3},
+	})
+	res.Results = results
 	return res
 }
 

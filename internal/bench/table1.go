@@ -50,7 +50,9 @@ var table1Methods = []string{"btree", "hash", "zonemap", "lsm-level", "sorted-co
 // RunTable1 measures every Table 1 cell empirically: each structure is bulk
 // created at size N (charging external sorting where the model requires it),
 // then probed with point queries, range queries of result size m, and
-// inserts, on a cold-ish buffer pool of MEM pages.
+// inserts, on a cold-ish buffer pool of MEM pages. Every (N, method) pair is
+// an independent run cell executed on cfg.Runner; rows are assembled in
+// enumeration order.
 func RunTable1(cfg Config, ns []int, m int) Table1Result {
 	cfg.Defaults()
 	if cfg.Storage.PoolPages == 0 {
@@ -65,11 +67,25 @@ func RunTable1(cfg Config, ns []int, m int) Table1Result {
 		m = 256
 	}
 	res := Table1Result{Ns: ns, M: m}
+	var cells []Cell
+	var rows []*Table1Row
 	for _, n := range ns {
-		recs := makeRecords(cfg.Seed, n)
 		for _, name := range table1Methods {
-			res.Rows = append(res.Rows, runTable1Cell(cfg, name, recs, m))
+			n, name := n, name
+			row := new(Table1Row)
+			rows = append(rows, row)
+			cells = append(cells, Cell{
+				Label: fmt.Sprintf("%s/N=%d", name, n),
+				Run: func(ccfg Config) {
+					recs := makeRecords(ccfg.Seed, n)
+					*row = runTable1Cell(ccfg, name, recs, m)
+				},
+			})
 		}
+	}
+	cfg.runCells("table1", cells)
+	for _, row := range rows {
+		res.Rows = append(res.Rows, *row)
 	}
 	return res
 }

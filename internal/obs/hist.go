@@ -58,6 +58,24 @@ func (h *Histogram) Record(v float64) {
 	h.counts[lo]++
 }
 
+// Merge folds o's observations into h. Both histograms must share the same
+// bucket layout (they always do inside this package, where every family uses
+// a fixed power-of-two layout); mismatched layouts panic rather than silently
+// mis-binning.
+func (h *Histogram) Merge(o *Histogram) {
+	if len(o.bounds) != len(h.bounds) {
+		panic("obs: merge of histograms with different bucket layouts")
+	}
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+	h.n += o.n
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
 // Count returns the number of recorded observations.
 func (h *Histogram) Count() uint64 { return h.n }
 

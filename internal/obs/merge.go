@@ -1,0 +1,74 @@
+package obs
+
+// This file is the parallel-run half of the observability layer. An Observer
+// is single-goroutine by design (it rides the hot path of one storage stack),
+// so parallel suites give every run cell its own Child observer and stitch
+// the finished children back together with Absorb, in cell enumeration order.
+// Because absorption renumbers spans and samples into the parent's sequence
+// space, the merged trace, time series, and metrics are byte-identical to a
+// fully sequential run over the same cells — worker count changes wall-clock
+// only, never output.
+
+// Child returns a fresh Observer with the same configuration, intended for
+// one isolated run cell. The child must be used from a single goroutine; when
+// the cell is done, call Finish on it and Absorb it into the parent from the
+// parent's goroutine.
+func (o *Observer) Child() *Observer { return New(o.cfg) }
+
+// Finish closes the trailing sampling window: operations executed since the
+// last periodic sample get a final time-series point, so a cell's trajectory
+// always ends at its final state. Calling Finish on an observer that never
+// had a target, or with an empty window, is a no-op.
+func (o *Observer) Finish() {
+	if o.meter != nil && o.sinceSamp > 0 {
+		o.sample()
+	}
+}
+
+// Absorb merges a finished child observer into o. Spans and samples are
+// renumbered after o's current operation sequence and appended in the child's
+// own order; sample cost counters are offset by the parent's cumulative cost
+// so the merged series stays a single monotone cost line; histograms,
+// operation counts, page-event totals, and traced/untraced meters are summed.
+// The parent's MaxSpans cap applies to the merged span list — overflow is
+// counted in Dropped, matching sequential behaviour.
+//
+// Absorb must be called from the goroutine that owns o, after the child's
+// cell has completed; the child must not be used afterwards (its histograms
+// may be adopted by the parent rather than copied).
+func (o *Observer) Absorb(c *Observer) {
+	if c == nil {
+		return
+	}
+	seqOff := o.seq
+	costOff := o.total.Cost
+	for _, s := range c.spans {
+		s.Seq += seqOff
+		if uint64(len(o.spans)) < uint64(o.cfg.MaxSpans) {
+			o.spans = append(o.spans, s)
+		} else {
+			o.dropped++
+		}
+	}
+	for _, s := range c.samples {
+		s.Seq += seqOff
+		s.Cost += costOff
+		o.samples = append(o.samples, s)
+	}
+	o.seq += c.seq
+	o.dropped += c.dropped
+	o.total.Merge(c.total)
+	o.untraced.Merge(c.untraced)
+	o.traced.Add(c.traced)
+	for k, n := range c.ops {
+		o.ops[k] += n
+	}
+	for k, h := range c.hists {
+		if dst, ok := o.hists[k]; ok {
+			dst.Pages.Merge(h.Pages)
+			dst.Amp.Merge(h.Amp)
+		} else {
+			o.hists[k] = h
+		}
+	}
+}

@@ -69,6 +69,19 @@ func (c PageCounts) Writes() uint64 { return c.BaseWrites + c.AuxWrites }
 // Touched returns the total device pages touched (reads + writes).
 func (c PageCounts) Touched() uint64 { return c.Reads() + c.Writes() }
 
+// Merge adds o's counters into c.
+func (c *PageCounts) Merge(o PageCounts) {
+	c.BaseReads += o.BaseReads
+	c.AuxReads += o.AuxReads
+	c.BaseWrites += o.BaseWrites
+	c.AuxWrites += o.AuxWrites
+	c.Hits += o.Hits
+	c.Misses += o.Misses
+	c.Evictions += o.Evictions
+	c.WriteBacks += o.WriteBacks
+	c.Cost += o.Cost
+}
+
 func (c *PageCounts) add(ev storage.Event, class rum.Class, cost uint64) {
 	c.Cost += cost
 	switch ev {

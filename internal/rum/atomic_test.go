@@ -1,6 +1,7 @@
 package rum
 
 import (
+	"math/rand"
 	"sync"
 	"testing"
 )
@@ -66,5 +67,67 @@ func TestAtomicMeterMerge(t *testing.T) {
 	shared.Reset()
 	if s := shared.Snapshot(); s != (Meter{}) {
 		t.Fatalf("Reset left counts: %+v", s)
+	}
+}
+
+// TestAtomicMeterEquivalence runs the same seeded mixed read/write workload
+// through both counting strategies — per-goroutine plain Meters drained with
+// Merge, and direct concurrent counting into one AtomicMeter — and requires
+// identical totals. This is the invariant the parallel bench runner depends
+// on: sharding the accounting must never change the numbers.
+func TestAtomicMeterEquivalence(t *testing.T) {
+	const workers = 8
+	const perWorker = 5000
+	work := func(seed int64, read func(Class, int), write func(Class, int), lread, lwrite func(int)) {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < perWorker; i++ {
+			n := 1 + rng.Intn(4096)
+			c := Base
+			if rng.Intn(3) == 0 {
+				c = Aux
+			}
+			switch rng.Intn(4) {
+			case 0:
+				read(c, n)
+				lread(n)
+			case 1:
+				write(c, n)
+				lwrite(n)
+			case 2:
+				read(c, n)
+			default:
+				write(c, n)
+			}
+		}
+	}
+
+	var sharded AtomicMeter
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			var local Meter
+			work(seed, local.CountRead, local.CountWrite, local.CountLogicalRead, local.CountLogicalWrite)
+			sharded.Merge(local)
+		}(int64(w))
+	}
+	wg.Wait()
+
+	var direct AtomicMeter
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			work(seed, direct.CountRead, direct.CountWrite, direct.CountLogicalRead, direct.CountLogicalWrite)
+		}(int64(w))
+	}
+	wg.Wait()
+
+	if s, d := sharded.Snapshot(), direct.Snapshot(); s != d {
+		t.Fatalf("sharded Meters and direct AtomicMeter disagree:\nsharded %+v\ndirect  %+v", s, d)
+	}
+	if s := sharded.Snapshot(); s == (Meter{}) {
+		t.Fatal("workload counted nothing")
 	}
 }

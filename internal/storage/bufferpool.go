@@ -47,9 +47,14 @@ func (f *Frame) MarkDirty() { f.dirty = true }
 
 // BufferPool caches device pages with LRU replacement. It models the MEM
 // parameter of Table 1: a structure whose working set fits in the pool pays
-// no device traffic after warm-up, one that does not pays per page. The pool
-// is not safe for concurrent use.
+// no device traffic after warm-up, one that does not pays per page.
+//
+// A BufferPool is single-owner, like the Device beneath it: not safe for
+// concurrent use, and never to be shared between run cells — each cell builds
+// its own pool over its own device. Builds with -tags racecheck bind the pool
+// to the first goroutine that touches it and panic on use from any other.
 type BufferPool struct {
+	owner    owner
 	dev      *Device
 	capacity int
 	frames   map[PageID]*Frame
@@ -90,6 +95,7 @@ func (p *BufferPool) Len() int { return len(p.frames) }
 
 // Fetch pins the frame for page id, reading it from the device on a miss.
 func (p *BufferPool) Fetch(id PageID) (*Frame, error) {
+	p.owner.assert("BufferPool")
 	if f, ok := p.frames[id]; ok {
 		p.stats.Hits++
 		f.pins++
@@ -115,6 +121,7 @@ func (p *BufferPool) Fetch(id PageID) (*Frame, error) {
 // NewPage allocates a fresh zeroed page of class c on the device and returns
 // it pinned and dirty, without any device read (a blind write).
 func (p *BufferPool) NewPage(c rum.Class) (*Frame, error) {
+	p.owner.assert("BufferPool")
 	id := p.dev.Alloc(c)
 	f := p.install(id)
 	f.dirty = true
@@ -173,6 +180,7 @@ func (p *BufferPool) flushFrame(f *Frame) {
 
 // Release unpins a frame previously returned by Fetch or NewPage.
 func (p *BufferPool) Release(f *Frame) {
+	p.owner.assert("BufferPool")
 	if f.pins <= 0 {
 		panic(fmt.Sprintf("storage: release of unpinned frame %d", f.id))
 	}
@@ -182,6 +190,7 @@ func (p *BufferPool) Release(f *Frame) {
 // FreePage drops any cached frame for id without write-back and frees the
 // page on the device. The frame must not be pinned.
 func (p *BufferPool) FreePage(id PageID) error {
+	p.owner.assert("BufferPool")
 	if f, ok := p.frames[id]; ok {
 		if f.pins > 0 {
 			return fmt.Errorf("storage: freeing pinned page %d", id)
@@ -194,6 +203,7 @@ func (p *BufferPool) FreePage(id PageID) error {
 
 // FlushAll writes back every dirty frame, leaving them cached and clean.
 func (p *BufferPool) FlushAll() {
+	p.owner.assert("BufferPool")
 	for _, f := range p.frames {
 		if f.dirty {
 			p.flushFrame(f)
@@ -203,6 +213,7 @@ func (p *BufferPool) FlushAll() {
 
 // DropAll flushes and then discards every unpinned frame, emptying the cache.
 func (p *BufferPool) DropAll() {
+	p.owner.assert("BufferPool")
 	p.FlushAll()
 	var next *list.Element
 	for e := p.lru.Front(); e != nil; e = next {

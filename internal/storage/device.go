@@ -100,9 +100,15 @@ type FaultPlan struct {
 
 // Device is a simulated page-granular storage device. It is the single point
 // through which page-based access methods touch data, so its counters are the
-// ground truth for read and write amplification. Device is not safe for
-// concurrent use.
+// ground truth for read and write amplification.
+//
+// A Device is single-owner: it is not safe for concurrent use, and the
+// parallel bench runner relies on every run cell constructing (or Cloning)
+// its own Device rather than sharing one — sharing would corrupt the meter
+// and stats silently. Builds with -tags racecheck bind each Device to the
+// first goroutine that touches it and panic on use from any other.
 type Device struct {
+	owner     owner
 	pageSize  int
 	medium    Medium
 	pages     [][]byte
@@ -203,6 +209,7 @@ func (d *Device) LiveBytes() rum.SizeInfo {
 
 // Alloc allocates a zeroed page of the given data class and returns its id.
 func (d *Device) Alloc(c rum.Class) PageID {
+	d.owner.assert("Device")
 	d.stats.PagesAllocated++
 	if n := len(d.freeList); n > 0 {
 		id := d.freeList[n-1]
@@ -221,6 +228,7 @@ func (d *Device) Alloc(c rum.Class) PageID {
 
 // Free releases a page back to the device.
 func (d *Device) Free(id PageID) error {
+	d.owner.assert("Device")
 	if err := d.check(id); err != nil {
 		return err
 	}
@@ -244,6 +252,7 @@ func (d *Device) check(id PageID) error {
 // slice aliases device memory; callers must copy it if they intend to keep it
 // across a Write to the same page.
 func (d *Device) Read(id PageID) ([]byte, error) {
+	d.owner.assert("Device")
 	if err := d.check(id); err != nil {
 		return nil, err
 	}
@@ -262,6 +271,7 @@ func (d *Device) Read(id PageID) ([]byte, error) {
 // Write replaces the contents of a page, counting one page write. data must
 // be exactly one page long.
 func (d *Device) Write(id PageID, data []byte) error {
+	d.owner.assert("Device")
 	if err := d.check(id); err != nil {
 		return err
 	}
@@ -285,6 +295,7 @@ func (d *Device) Write(id PageID, data []byte) error {
 // to mutate directly, avoiding a copy. It is the fast path used by the buffer
 // pool when flushing dirty frames it already owns.
 func (d *Device) WriteInPlace(id PageID) ([]byte, error) {
+	d.owner.assert("Device")
 	if err := d.check(id); err != nil {
 		return nil, err
 	}
@@ -298,6 +309,34 @@ func (d *Device) WriteInPlace(id PageID) ([]byte, error) {
 		d.hook.StorageEvent(EvWrite, id, d.class[id], d.writeCost)
 	}
 	return d.pages[id], nil
+}
+
+// Clone returns a deep copy of the device — page images, classes, free list,
+// and stats — reporting its traffic to meter (nil selects a private one).
+// Cloning is how concurrent run cells start from an identical preloaded
+// image without sharing mutable state: preload a template once, then each
+// cell clones it and owns the copy. The clone has no fault plan or hook, and
+// under -tags racecheck it is unowned until first touched.
+func (d *Device) Clone(meter *rum.Meter) *Device {
+	if meter == nil {
+		meter = &rum.Meter{}
+	}
+	nd := &Device{
+		pageSize:  d.pageSize,
+		medium:    d.medium,
+		meter:     meter,
+		readCost:  d.readCost,
+		writeCost: d.writeCost,
+		stats:     d.stats,
+		pages:     make([][]byte, len(d.pages)),
+		class:     append([]rum.Class(nil), d.class...),
+		live:      append([]bool(nil), d.live...),
+		freeList:  append([]PageID(nil), d.freeList...),
+	}
+	for i, pg := range d.pages {
+		nd.pages[i] = append([]byte(nil), pg...)
+	}
+	return nd
 }
 
 // Class returns the data class a page was allocated under.

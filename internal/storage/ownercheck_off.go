@@ -1,0 +1,9 @@
+//go:build !racecheck
+
+package storage
+
+// owner is the no-op release build of the single-owner assertion. See
+// ownercheck_on.go (built with -tags racecheck) for the checked variant.
+type owner struct{}
+
+func (*owner) assert(string) {}

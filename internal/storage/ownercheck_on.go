@@ -1,0 +1,50 @@
+//go:build racecheck
+
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+)
+
+// owner enforces the single-owner contract when built with -tags racecheck:
+// the first goroutine to touch the guarded object becomes its owner, and any
+// touch from a different goroutine panics. This turns accidental cross-cell
+// sharing of a Device or BufferPool — which would silently corrupt meters in
+// a release build — into a loud, attributed failure. The check costs a stack
+// capture per call, so it stays out of release builds.
+type owner struct {
+	gid atomic.Int64
+}
+
+// goid parses the current goroutine id from the stack header ("goroutine N
+// [running]:"). There is no public API for this; a debug-only guard is the
+// accepted use for the trick.
+func goid() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	fields := bytes.Fields(buf[:n])
+	if len(fields) < 2 {
+		panic("storage: cannot parse goroutine id")
+	}
+	id, err := strconv.ParseInt(string(fields[1]), 10, 64)
+	if err != nil {
+		panic("storage: cannot parse goroutine id: " + err.Error())
+	}
+	return id
+}
+
+// assert binds the object to the calling goroutine on first use and panics if
+// a different goroutine touches it afterwards.
+func (o *owner) assert(what string) {
+	g := goid()
+	if o.gid.CompareAndSwap(0, g) {
+		return
+	}
+	if got := o.gid.Load(); got != g {
+		panic(fmt.Sprintf("storage: %s used by goroutine %d but owned by goroutine %d (single-owner violation)", what, g, got))
+	}
+}
