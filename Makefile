@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race racecheck bench golden
+.PHONY: check build vet test race racecheck bench golden chaos-smoke
 
 ## check: the full gate — build, vet, race-enabled tests, and the
 ## single-owner assertion build.
@@ -29,6 +29,18 @@ racecheck:
 bench:
 	$(GO) test ./internal/obs -bench BenchmarkInstrumentedGet -benchtime=2s -run '^$$'
 
-## golden: regenerate exporter golden files after an intended format change.
+## golden: regenerate golden files (exporters, CLI usage) after an
+## intended format change.
 golden:
 	$(GO) test ./internal/obs -run Golden -update
+	$(GO) test ./cmd/rumbench -run Golden -update
+
+## chaos-smoke: a tiny end-to-end pass over the fault paths — the chaos
+## experiment with a non-trivial plan at two pool widths, diffed to hold
+## the determinism contract on every push.
+chaos-smoke:
+	$(GO) run ./cmd/rumbench -exp chaos -quick -n 2048 -ops 1000 -parallel 1 \
+		-faults seed=7,p_read=0.02,p_write=0.02,p_torn=0.5,crash=120 >/tmp/chaos-seq.txt
+	$(GO) run ./cmd/rumbench -exp chaos -quick -n 2048 -ops 1000 -parallel 8 \
+		-faults seed=7,p_read=0.02,p_write=0.02,p_torn=0.5,crash=120 >/tmp/chaos-par.txt
+	diff /tmp/chaos-seq.txt /tmp/chaos-par.txt

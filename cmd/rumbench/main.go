@@ -9,6 +9,13 @@
 //	rumbench -exp fig3 -quick
 //	rumbench -exp all -parallel 8
 //	rumbench -exp table1 -trace out.jsonl -timeseries ts.csv -metrics metrics.txt
+//	rumbench -exp chaos -faults seed=7,p_read=0.02,p_write=0.02,p_torn=0.5
+//
+// The chaos experiment re-runs the page-backed Table-1 methods on a degraded
+// device (internal/faults): transient/permanent read and write faults, torn
+// writes, and a seeded crash trial that holds each method to its declared
+// durability contract. The -faults flag sets the plan; empty selects a
+// default degradation profile.
 //
 // The -trace/-timeseries/-metrics flags attach an observability layer
 // (internal/obs) to every traced experiment (table1, fig1, fig3,
@@ -33,11 +40,12 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/faults"
 	"repro/internal/obs"
 )
 
 // knownExps lists every experiment name, in run order.
-var knownExps = []string{"props", "table1", "fig1", "fig2", "fig3", "conjecture", "adaptive", "extensions"}
+var knownExps = []string{"props", "table1", "fig1", "fig2", "fig3", "conjecture", "adaptive", "extensions", "chaos"}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -63,8 +71,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		timeseries = fs.String("timeseries", "", "write the RUM time-series CSV to this file")
 		metrics    = fs.String("metrics", "", "write a Prometheus-style metrics exposition to this file")
 		sample     = fs.Int("sample", 256, "operations between time-series samples")
+		faultSpec  = fs.String("faults", "", "fault plan for the chaos experiment, e.g. seed=1,p_read=0.01,p_write=0.01,p_torn=0.5,crash=200 (empty = default degradation profile)")
 	)
 	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0 // -h/-help: usage was requested, not a mistake
+		}
+		return 2
+	}
+	plan, err := faults.ParsePlan(*faultSpec)
+	if err != nil {
+		fmt.Fprintf(stderr, "rumbench: -faults: %v\n", err)
 		return 2
 	}
 	if fs.NArg() > 0 {
@@ -149,6 +166,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		},
 		"adaptive":   func(c bench.Config) string { return bench.RunAdaptive(c).Render() },
 		"extensions": func(c bench.Config) string { return bench.RunExtensions(c).Render() },
+		"chaos": func(c bench.Config) string {
+			if c.N == 0 {
+				c.N = 16384
+			}
+			if c.Ops == 0 {
+				c.Ops = 8000
+			}
+			return bench.RunChaos(c, plan).Render()
+		},
 	}
 	var jobs []expJob
 	for _, name := range knownExps {

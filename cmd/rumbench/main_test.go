@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"flag"
 	"os"
 	"path/filepath"
 	"testing"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files")
 
 // suiteArtifacts runs the whole program in-process at the given pool width
 // and returns stdout plus the three exported observability artifacts.
@@ -19,6 +22,7 @@ func suiteArtifacts(t *testing.T, parallel string) map[string][]byte {
 	code := run([]string{
 		"-exp", "all", "-quick", "-n", "2048", "-ops", "1000", "-seed", "42",
 		"-parallel", parallel,
+		"-faults", "seed=7,p_read=0.02,p_write=0.02,p_torn=0.5,crash=120",
 		"-trace", trace, "-timeseries", ts, "-metrics", metrics,
 	}, &stdout, &stderr)
 	if code != 0 {
@@ -41,7 +45,9 @@ func suiteArtifacts(t *testing.T, parallel string) map[string][]byte {
 // TestParallelDeterminism is the tentpole guarantee: the full suite at
 // -parallel 1 and -parallel 8 must produce byte-identical stdout, trace
 // JSONL, time-series CSV, and metrics text for a fixed seed. Only wall-clock
-// time may differ between pool widths.
+// time may differ between pool widths. The suite includes the chaos
+// experiment under a non-trivial -faults plan, so fault injection, retries,
+// and the crash trial are all inside the determinism contract.
 func TestParallelDeterminism(t *testing.T) {
 	seq := suiteArtifacts(t, "1")
 	par := suiteArtifacts(t, "8")
@@ -59,6 +65,35 @@ func TestParallelDeterminism(t *testing.T) {
 			}
 		}
 		t.Fatalf("%s differs in length: %d vs %d bytes", name, len(a), len(b))
+	}
+}
+
+// TestUsageGolden pins the -h output: the flag set is the CLI's public
+// surface, so additions and wording changes must be deliberate. Regenerate
+// with `go test ./cmd/rumbench -run Golden -update` (part of `make golden`).
+func TestUsageGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-h"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(-h) = %d, want 0", code)
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("run(-h) wrote to stdout: %q", stdout.String())
+	}
+	path := filepath.Join("testdata", "usage.golden.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, stderr.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/rumbench -run Golden -update` to create)", err)
+	}
+	if !bytes.Equal(stderr.Bytes(), want) {
+		t.Fatalf("usage drifted from golden file (rerun with -update if intended)\ngot:\n%s\nwant:\n%s", stderr.Bytes(), want)
 	}
 }
 

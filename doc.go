@@ -5,6 +5,11 @@
 // propositions, Table 1, Figures 1–3, the Section-3 conjecture grid, and
 // the Section-4/5 adaptivity results — from measurements.
 //
+// Beyond the paper's happy path, internal/faults adds a deterministic
+// fault-injection and crash-consistency layer (transient/permanent device
+// faults, torn writes, crash points, per-method recovery contracts),
+// exercised by the chaos experiment (rumbench -exp chaos -faults ...).
+//
 // See README.md for the tour, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
 // The benchmarks in bench_test.go regenerate each table and figure:

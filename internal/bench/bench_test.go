@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/faults"
 	"repro/internal/rum"
 )
 
@@ -252,5 +253,49 @@ func TestExtensions(t *testing.T) {
 	}
 	if !strings.Contains(res.Render(), "Cache-oblivious") {
 		t.Fatal("render")
+	}
+}
+
+func TestChaos(t *testing.T) {
+	plan := faults.Plan{Seed: 9, PRead: 0.02, PWrite: 0.02, PTorn: 0.5}
+	res := RunChaos(tiny, plan)
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d chaos rows", len(res.Rows))
+	}
+	var transients, retries uint64
+	for _, row := range res.Rows {
+		if row.Clean.R <= 0 || row.Clean.U <= 0 {
+			t.Fatalf("%s: degenerate clean point %+v", row.Method, row.Clean)
+		}
+		if row.Degraded.R <= 0 || row.Degraded.U <= 0 {
+			t.Fatalf("%s: degenerate degraded point %+v", row.Method, row.Degraded)
+		}
+		if !row.Crash.Verdict.Acceptable() {
+			t.Fatalf("%s: crash trial violated its %s contract: %s",
+				row.Method, row.Durability, row.Crash)
+		}
+		transients += row.Faults.TransientReads + row.Faults.TransientWrites
+		retries += row.Pool.Retries
+	}
+	if transients == 0 {
+		t.Fatal("plan injected no transient faults — nothing was degraded")
+	}
+	if retries == 0 {
+		t.Fatal("pool recorded no retries under an active fault plan")
+	}
+	if out := res.Render(); !strings.Contains(out, "Crash trial") {
+		t.Fatal("render")
+	}
+}
+
+// TestChaosDefaultPlan: an inactive plan must be replaced by the default
+// degradation profile, not run a no-op chaos experiment.
+func TestChaosDefaultPlan(t *testing.T) {
+	res := RunChaos(tiny, faults.Plan{})
+	if !res.Plan.Active() {
+		t.Fatal("inactive plan was not defaulted")
+	}
+	if res.Plan.Seed != uint64(tiny.Seed) {
+		t.Fatalf("default plan seed %d, want %d", res.Plan.Seed, tiny.Seed)
 	}
 }

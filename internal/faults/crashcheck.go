@@ -1,0 +1,357 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// opStream seeds the workload generator of the checker, distinct from the
+// injector's planStream so op choice and fault choice are independent.
+// crashStream seeds the crash-point draw, distinct from both so the workload
+// stream stays a pure function of the seed.
+const (
+	opStream    = 0xc4a5
+	crashStream = 0xc4a6
+)
+
+// Durability is the contract an access method declares for crash recovery.
+// The checker holds the method to exactly what it promises — a structure
+// without a write-ahead log is not wrong for losing buffered data, only for
+// serving garbage.
+type Durability int
+
+const (
+	// Lossy promises only no-garbage: after recovery every record served
+	// must have been acknowledged before the crash with that exact value,
+	// but any amount of acknowledged data may be missing. The B+-tree (no
+	// WAL; in-place page writes) declares Lossy.
+	Lossy Durability = iota
+	// DurableToFlush promises that every write acknowledged before the
+	// last fully-successful Flush (all dirty frames written back) survives
+	// recovery, plus no-garbage for everything after. The LSM with a
+	// manifest declares DurableToFlush.
+	DurableToFlush
+)
+
+// String names the contract.
+func (d Durability) String() string {
+	switch d {
+	case Lossy:
+		return "lossy"
+	case DurableToFlush:
+		return "durable-to-flush"
+	default:
+		return fmt.Sprintf("durability(%d)", int(d))
+	}
+}
+
+// Verdict is the outcome of one crash-consistency check.
+type Verdict int
+
+const (
+	// NoCrash: the crash point never fired within the op budget; nothing
+	// was verified. Usually means CrashAtWrite was set past the workload's
+	// total write count.
+	NoCrash Verdict = iota
+	// Recovered: reopen succeeded and the declared contract held.
+	Recovered
+	// FailedLoudly: reopen returned an error instead of a structure — the
+	// acceptable outcome when the surviving image is beyond repair,
+	// provided the contract promised nothing about it (Lossy), or nothing
+	// had been checkpointed yet (DurableToFlush).
+	FailedLoudly
+	// NoRecovery: the subject declares no recovery path (Reopen is nil).
+	NoRecovery
+	// Violated: the contract was broken — a checkpointed record is gone, a
+	// recovered record was never acknowledged, or reopen failed loudly
+	// after promising checkpointed data back.
+	Violated
+)
+
+// String names the verdict as printed by the chaos experiment.
+func (v Verdict) String() string {
+	switch v {
+	case NoCrash:
+		return "no-crash"
+	case Recovered:
+		return "recovered"
+	case FailedLoudly:
+		return "failed-loudly"
+	case NoRecovery:
+		return "no-recovery"
+	case Violated:
+		return "VIOLATED"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// Acceptable reports whether the verdict satisfies "recovers or fails
+// loudly" — everything except Violated.
+func (v Verdict) Acceptable() bool { return v != Violated }
+
+// Subject describes one access method under crash test: how to build it on
+// a fresh storage stack and how to recover it from a surviving image.
+type Subject struct {
+	// Open builds a fresh, empty instance over pool.
+	Open func(pool *storage.BufferPool) (core.AccessMethod, error)
+	// Reopen recovers an instance from the device image under pool after a
+	// crash (the pool is fresh and empty; the device holds whatever the
+	// last successful writes left). It must return an error — fail loudly
+	// — rather than a structure that would serve garbage. nil declares
+	// that the method has no recovery path.
+	Reopen func(pool *storage.BufferPool) (core.AccessMethod, error)
+	// Durability is the contract Reopen is held to.
+	Durability Durability
+}
+
+// CheckConfig parameterizes one crash-consistency check.
+type CheckConfig struct {
+	// Seed drives both the workload and the injected crash point.
+	Seed uint64
+	// Ops is the number of insert attempts to drive before giving up on
+	// crashing (the op loop stops early at the crash).
+	Ops int
+	// PageSize and PoolPages shape the storage stack (defaults 512 and 8:
+	// a small pool keeps plenty of state volatile at the crash).
+	PageSize  int
+	PoolPages int
+	// CrashAtWrite pins the crash to a 1-based device write index; 0 first
+	// calibrates the workload's total write count with a fault-free dry run,
+	// then draws a crash point inside that range from Seed — so an
+	// unpinned check always crashes somewhere the workload actually writes.
+	CrashAtWrite uint64
+	// FlushEvery checkpoints (core.Flush + dirty-count verification) every
+	// this many acknowledged ops; 0 defaults to Ops/4.
+	FlushEvery int
+}
+
+// CheckResult reports what one crash-consistency check observed.
+type CheckResult struct {
+	Verdict Verdict
+	// CrashWrite is the device write index the crash fired at (0 if it
+	// never fired).
+	CrashWrite uint64
+	// Acked counts inserts acknowledged before the crash; Checkpointed
+	// counts those covered by the last fully-successful flush; Survived
+	// counts acked records served correctly after recovery.
+	Acked, Checkpointed, Survived int
+	// Detail explains a Violated or FailedLoudly verdict.
+	Detail string
+}
+
+// String renders the result as one stable line, e.g.
+// "recovered (crash@w87, acked 120, checkpointed 64, survived 64/120)".
+func (r CheckResult) String() string {
+	s := r.Verdict.String()
+	if r.CrashWrite != 0 {
+		s += fmt.Sprintf(" (crash@w%d, acked %d, checkpointed %d, survived %d/%d)",
+			r.CrashWrite, r.Acked, r.Checkpointed, r.Survived, r.Acked)
+	}
+	if r.Detail != "" {
+		s += ": " + r.Detail
+	}
+	return s
+}
+
+// workloadWrites replays the checker's workload fault-free and returns the
+// device writes it performs — the calibration run that lets an unpinned
+// CheckCrash draw a crash point the workload is guaranteed to reach. It must
+// consume the op RNG exactly as CheckCrash's main loop does.
+func workloadWrites(cfg CheckConfig, sub Subject) uint64 {
+	rng := rand.New(rand.NewPCG(cfg.Seed, opStream))
+	dev := storage.NewDevice(cfg.PageSize, storage.SSD, nil)
+	pool := storage.NewBufferPool(dev, cfg.PoolPages)
+	m, err := sub.Open(pool)
+	if err != nil {
+		return 0
+	}
+	seen := make(map[core.Key]struct{})
+	for op := 0; op < cfg.Ops; op++ {
+		k := rng.Uint64N(1 << 40)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		v := rng.Uint64() >> 1
+		if err := m.Insert(k, v); err == nil {
+			seen[k] = struct{}{}
+		}
+		if (op+1)%cfg.FlushEvery == 0 {
+			core.Flush(m)
+		}
+	}
+	core.Flush(m)
+	return dev.Stats().PageWrites
+}
+
+// CheckCrash drives the property: a random acknowledged op prefix, a crash
+// at a seeded device write, a reopen from the surviving image — then every
+// recovered record must have been acknowledged (no garbage), and, under
+// DurableToFlush, every checkpointed record must have survived.
+//
+// The fault plan is crash-only (no transient or permanent faults), so every
+// operation before the crash point behaves normally — the property isolates
+// crash atomicity from fault tolerance, which the unit tests cover.
+func CheckCrash(cfg CheckConfig, sub Subject) CheckResult {
+	if cfg.PageSize == 0 {
+		cfg.PageSize = 512
+	}
+	if cfg.PoolPages == 0 {
+		cfg.PoolPages = 8
+	}
+	if cfg.Ops == 0 {
+		cfg.Ops = 400
+	}
+	if cfg.FlushEvery == 0 {
+		cfg.FlushEvery = cfg.Ops / 4
+		if cfg.FlushEvery == 0 {
+			cfg.FlushEvery = 1
+		}
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, opStream))
+	crashAt := cfg.CrashAtWrite
+	if crashAt == 0 {
+		w := workloadWrites(cfg, sub)
+		if w < 2 {
+			w = 2
+		}
+		crashRng := rand.New(rand.NewPCG(cfg.Seed, crashStream))
+		crashAt = 1 + crashRng.Uint64N(w) // in [1, w]: guaranteed to fire
+	}
+
+	dev := storage.NewDevice(cfg.PageSize, storage.SSD, nil)
+	dev.SetInjector(New(Plan{Seed: cfg.Seed, CrashAtWrite: crashAt}))
+	pool := storage.NewBufferPool(dev, cfg.PoolPages)
+
+	model := make(map[core.Key]core.Value) // every acknowledged insert
+	var checkpointed map[core.Key]core.Value
+
+	m, err := sub.Open(pool)
+	crashed := err != nil && (errors.Is(err, storage.ErrCrash) || dev.Crashed())
+	if err != nil && !crashed {
+		return CheckResult{Verdict: Violated, Detail: fmt.Sprintf("open failed without a crash: %v", err)}
+	}
+	// pending is the record in flight when the crash fired: the crash
+	// models instant process death, so its insert was never acknowledged —
+	// but its pages may be half-applied, so recovery serving it (with
+	// exactly this value) is atomicity, not garbage.
+	var pending *core.Record
+	for op := 0; !crashed && op < cfg.Ops; op++ {
+		k := rng.Uint64N(1 << 40)
+		if _, dup := model[k]; dup {
+			continue
+		}
+		v := rng.Uint64() >> 1 // keep clear of the LSM tombstone
+		err := m.Insert(k, v)
+		if dev.Crashed() {
+			// Process death at the crash point: nothing after it counts,
+			// even an insert that "returned" into volatile memory.
+			pending = &core.Record{Key: k, Value: v}
+			crashed = true
+			break
+		}
+		switch {
+		case err == nil:
+			model[k] = v
+		case errors.Is(err, core.ErrKeyExists):
+			// fine: not acknowledged, nothing promised
+		case errors.Is(err, storage.ErrInjected):
+			// crash-only plan: unreachable, but tolerated as un-acked
+		default:
+			return CheckResult{Verdict: Violated, Detail: fmt.Sprintf("insert failed unexpectedly: %v", err)}
+		}
+		if (op+1)%cfg.FlushEvery == 0 {
+			core.Flush(m)
+			if dev.Crashed() {
+				crashed = true
+			} else if pool.DirtyCount() == 0 {
+				checkpointed = make(map[core.Key]core.Value, len(model))
+				for k, v := range model {
+					checkpointed[k] = v
+				}
+			}
+		}
+	}
+	res := CheckResult{Acked: len(model), Checkpointed: len(checkpointed)}
+	if !crashed {
+		// One last chance for the crash point to fire: the closing flush.
+		core.Flush(m)
+		if !dev.Crashed() {
+			res.Verdict = NoCrash
+			return res
+		}
+	}
+	_, writes := dev.Injector().(*Injector).Ops()
+	res.CrashWrite = crashAt
+	if writes < crashAt {
+		// Crashed() latched without the injector firing cannot happen with
+		// a crash-only plan; record the real fire point regardless.
+		res.CrashWrite = writes
+	}
+
+	// The crash: volatile state gone, device image frozen as-is.
+	pool.Crash()
+	dev.SetInjector(nil)
+	dev.Reopen()
+
+	if sub.Reopen == nil {
+		res.Verdict = NoRecovery
+		return res
+	}
+	pool2 := storage.NewBufferPool(dev, cfg.PoolPages)
+	m2, err := sub.Reopen(pool2)
+	if err != nil {
+		if sub.Durability == DurableToFlush && len(checkpointed) > 0 {
+			res.Verdict = Violated
+			res.Detail = fmt.Sprintf("reopen failed with %d checkpointed records promised durable: %v", len(checkpointed), err)
+			return res
+		}
+		res.Verdict = FailedLoudly
+		res.Detail = err.Error()
+		return res
+	}
+
+	// No-garbage: everything served must match an acknowledged write.
+	var violations []string
+	recovered := make(map[core.Key]core.Value)
+	m2.RangeScan(0, ^core.Key(0), func(k core.Key, v core.Value) bool {
+		recovered[k] = v
+		want, acked := model[k]
+		switch {
+		case acked && want == v:
+		case pending != nil && k == pending.Key && v == pending.Value:
+			// The in-flight record, fully applied: atomicity allows it.
+		case !acked:
+			violations = append(violations, fmt.Sprintf("garbage key %d (never acknowledged)", k))
+		default:
+			violations = append(violations, fmt.Sprintf("key %d recovered with value %d, acknowledged %d", k, v, want))
+		}
+		return true
+	})
+	for k, v := range recovered {
+		if want, acked := model[k]; acked && want == v {
+			res.Survived++
+		}
+	}
+	// Durability: checkpointed records must be back, point-readable.
+	if sub.Durability == DurableToFlush {
+		for k, want := range checkpointed {
+			if got, ok := m2.Get(k); !ok || got != want {
+				violations = append(violations, fmt.Sprintf("checkpointed key %d lost (got %d,%v, want %d)", k, got, ok, want))
+			}
+		}
+	}
+	if len(violations) > 0 {
+		sort.Strings(violations)
+		res.Verdict = Violated
+		res.Detail = fmt.Sprintf("%d violations, first: %s", len(violations), violations[0])
+		return res
+	}
+	res.Verdict = Recovered
+	return res
+}

@@ -1,0 +1,111 @@
+package faults_test
+
+import (
+	"testing"
+
+	"repro/internal/btree"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/lsm"
+	"repro/internal/storage"
+)
+
+// btreeSubject: no WAL, in-place page writes — the tree only promises not to
+// serve garbage after a crash (faults.Lossy).
+func btreeSubject() faults.Subject {
+	return faults.Subject{
+		Open: func(pool *storage.BufferPool) (core.AccessMethod, error) {
+			return btree.New(pool, btree.Config{})
+		},
+		Reopen: func(pool *storage.BufferPool) (core.AccessMethod, error) {
+			return btree.Recover(pool, btree.Config{})
+		},
+		Durability: faults.Lossy,
+	}
+}
+
+// lsmSubject: manifest checkpoints on every successful flush make the tree
+// durable to its last checkpoint (faults.DurableToFlush). A small memtable
+// forces run writes (and compactions) inside the checker's op budget.
+func lsmSubject() faults.Subject {
+	cfg := lsm.Config{MemtableRecords: 64, Manifest: true}
+	return faults.Subject{
+		Open: func(pool *storage.BufferPool) (core.AccessMethod, error) {
+			return lsm.New(pool, cfg), nil
+		},
+		Reopen: func(pool *storage.BufferPool) (core.AccessMethod, error) {
+			return lsm.Recover(pool, cfg)
+		},
+		Durability: faults.DurableToFlush,
+	}
+}
+
+// runCrashProperty drives the crash-consistency property across many seeds
+// and requires every verdict to be acceptable — recovered or failed loudly,
+// never a contract violation — and the crash point to actually fire often
+// enough for the run to mean something.
+func runCrashProperty(t *testing.T, sub faults.Subject, seeds int) {
+	t.Helper()
+	crashes, recovered := 0, 0
+	for seed := 1; seed <= seeds; seed++ {
+		res := faults.CheckCrash(faults.CheckConfig{Seed: uint64(seed)}, sub)
+		if !res.Verdict.Acceptable() {
+			t.Fatalf("seed %d: %s", seed, res)
+		}
+		if res.Verdict != faults.NoCrash {
+			crashes++
+		}
+		if res.Verdict == faults.Recovered {
+			recovered++
+		}
+	}
+	if crashes != seeds {
+		t.Fatalf("crash fired on only %d/%d seeds — calibration should guarantee it", crashes, seeds)
+	}
+	if recovered == 0 {
+		t.Fatalf("no seed recovered (crashes %d/%d) — recovery path never validated", crashes, seeds)
+	}
+	t.Logf("%d seeds: %d crashes, %d recovered", seeds, crashes, recovered)
+}
+
+func TestCrashConsistencyBTree(t *testing.T) {
+	runCrashProperty(t, btreeSubject(), 40)
+}
+
+func TestCrashConsistencyLSM(t *testing.T) {
+	runCrashProperty(t, lsmSubject(), 40)
+}
+
+// TestCrashCheckDeterminism: the checker is a pure function of its config —
+// same seed, same subject shape, byte-identical result line.
+func TestCrashCheckDeterminism(t *testing.T) {
+	cfg := faults.CheckConfig{Seed: 3}
+	a := faults.CheckCrash(cfg, lsmSubject())
+	b := faults.CheckCrash(cfg, lsmSubject())
+	if a.String() != b.String() {
+		t.Fatalf("diverged:\n  %s\n  %s", a, b)
+	}
+}
+
+// TestCrashCheckNoRecoveryPath: a subject without a Reopen hook is reported
+// as no-recovery, which is acceptable (declared fully lossy).
+func TestCrashCheckNoRecoveryPath(t *testing.T) {
+	sub := btreeSubject()
+	sub.Reopen = nil
+	res := faults.CheckCrash(faults.CheckConfig{Seed: 1, CrashAtWrite: 5}, sub)
+	if res.Verdict != faults.NoRecovery {
+		t.Fatalf("verdict: %s", res)
+	}
+	if !res.Verdict.Acceptable() {
+		t.Fatal("no-recovery must be acceptable")
+	}
+}
+
+// TestCrashCheckNoCrash: a crash point beyond the workload's writes reports
+// no-crash rather than inventing a verdict.
+func TestCrashCheckNoCrash(t *testing.T) {
+	res := faults.CheckCrash(faults.CheckConfig{Seed: 1, Ops: 20, CrashAtWrite: 1 << 40}, btreeSubject())
+	if res.Verdict != faults.NoCrash {
+		t.Fatalf("verdict: %s", res)
+	}
+}

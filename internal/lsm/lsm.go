@@ -57,6 +57,15 @@ type Config struct {
 	Tiering bool
 	// BloomBitsPerKey sizes the per-run Bloom filters; 0 disables them.
 	BloomBitsPerKey float64
+	// Manifest enables crash recovery (the faults.DurableToFlush
+	// contract): every fully-successful Flush checkpoints the run
+	// directory to checksummed manifest pages on the device, Recover
+	// rebuilds the tree from the newest complete checkpoint, and pages
+	// freed by compaction are quarantined until the next checkpoint so a
+	// committed manifest never references reused pages. Off by default:
+	// the checkpoint writes are extra device traffic the paper's Table-1
+	// accounting does not include (see manifest.go).
+	Manifest bool
 }
 
 func (c *Config) defaults() {
@@ -73,6 +82,8 @@ type Stats struct {
 	Flushes     uint64
 	Compactions uint64
 	RunsBuilt   uint64
+	// ManifestWrites counts committed manifest checkpoints (Config.Manifest).
+	ManifestWrites uint64
 }
 
 // run is one immutable sorted run stored across device pages.
@@ -93,6 +104,11 @@ type Tree struct {
 	count  int
 	stats  Stats
 	meter  *rum.Meter
+
+	// Manifest state (Config.Manifest; see manifest.go).
+	gen         uint64           // generation of the committed manifest
+	manifest    []storage.PageID // pages of the committed manifest chain
+	pendingFree []storage.PageID // run pages quarantined until next commit
 }
 
 // New creates an empty tree on pool.
@@ -102,7 +118,7 @@ func New(pool *storage.BufferPool, cfg Config) *Tree {
 	return &Tree{
 		pool:  pool,
 		cfg:   cfg,
-		mem:   skiplist.New(42, 0.5, meter),
+		mem:   newMemtable(meter),
 		meter: meter,
 	}
 }
@@ -165,10 +181,17 @@ func (t *Tree) Size() rum.SizeInfo {
 	return rum.SizeInfo{BaseBytes: base, AuxBytes: total - base}
 }
 
-// Flush drains the memtable into a run and writes all dirty pages.
+// Flush drains the memtable into a run and writes all dirty pages. With
+// Config.Manifest, a flush that leaves zero dirty frames additionally
+// commits a manifest checkpoint — the durability point the recovery
+// contract is defined against; a flush cut short by device faults leaves
+// the previous checkpoint authoritative.
 func (t *Tree) Flush() {
 	t.flushMemtable()
 	t.pool.FlushAll()
+	if t.cfg.Manifest && t.pool.DirtyCount() == 0 {
+		_ = t.writeManifest()
+	}
 }
 
 // Insert blind-writes the record into the memtable.
@@ -351,7 +374,14 @@ func (t *Tree) readRun(r *run) ([]core.Record, error) {
 	return recs, nil
 }
 
+// freeRun releases a run's pages. Under Config.Manifest the pages are
+// quarantined instead: the committed manifest may still reference them, so
+// they are only freed once the next checkpoint commits (writeManifest).
 func (t *Tree) freeRun(r *run) {
+	if t.cfg.Manifest {
+		t.pendingFree = append(t.pendingFree, r.pages...)
+		return
+	}
 	for _, pid := range r.pages {
 		_ = t.pool.FreePage(pid)
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/storage"
 )
 
@@ -328,7 +329,7 @@ func TestFaultToleranceOnReads(t *testing.T) {
 		}
 	}
 	tr.Flush()
-	dev.InjectFaults(&storage.FaultPlan{FailReadAfter: 2})
+	dev.SetInjector(faults.New(faults.Plan{Seed: 7, PRead: 0.5}))
 	misses := 0
 	for k := uint64(0); k < 10; k++ {
 		if _, ok := tr.Get(k * 150); !ok {
@@ -338,7 +339,7 @@ func TestFaultToleranceOnReads(t *testing.T) {
 	if misses == 0 {
 		t.Fatal("injected fault never surfaced")
 	}
-	dev.InjectFaults(nil)
+	dev.SetInjector(nil)
 	for k := uint64(0); k < 2000; k += 137 {
 		if v, ok := tr.Get(k); !ok || v != k {
 			t.Fatalf("post-fault Get(%d) = %d,%v", k, v, ok)

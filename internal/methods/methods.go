@@ -14,6 +14,7 @@ import (
 	"repro/internal/column"
 	"repro/internal/core"
 	"repro/internal/cracking"
+	"repro/internal/faults"
 	"repro/internal/hashindex"
 	"repro/internal/lsm"
 	"repro/internal/pbt"
@@ -38,6 +39,14 @@ type Options struct {
 	// buffer pool built through this Options (e.g. an *obs.Observer). The
 	// default nil keeps the storage hot path untraced.
 	Hook storage.Hook
+	// Faults, when active, arms a seed-driven fault injector
+	// (internal/faults) on every device built through this Options. Salt
+	// the plan per structure (faults.Plan.Salted) when several share one
+	// Options, or they will draw identical fault streams.
+	Faults faults.Plan
+	// RetryBudget is the buffer pool's transparent retry allowance for
+	// transient device faults (0 = surface every fault to the caller).
+	RetryBudget int
 }
 
 func (o *Options) defaults() {
@@ -58,6 +67,10 @@ func NewPool(opt Options, meter *rum.Meter) *storage.BufferPool {
 		dev.SetHook(opt.Hook)
 		pool.SetHook(opt.Hook)
 	}
+	if opt.Faults.Active() {
+		dev.SetInjector(faults.New(opt.Faults))
+	}
+	pool.SetRetryBudget(opt.RetryBudget)
 	return pool
 }
 

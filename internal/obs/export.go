@@ -30,6 +30,12 @@ type SpanJSON struct {
 	PoolEvictions  uint64 `json:"pool_evictions"`
 	PoolWriteBacks uint64 `json:"pool_writebacks"`
 	CostUnits      uint64 `json:"cost_units"`
+	// Fault-path counters are omitted when zero, so fault-free traces are
+	// byte-identical to those of builds without fault injection.
+	Faults     uint64 `json:"faults,omitempty"`
+	TornWrites uint64 `json:"torn_writes,omitempty"`
+	Crashes    uint64 `json:"crashes,omitempty"`
+	Retries    uint64 `json:"retries,omitempty"`
 }
 
 // ToJSON converts a span to its export form.
@@ -53,6 +59,10 @@ func (s Span) ToJSON() SpanJSON {
 		PoolEvictions:  s.Pages.Evictions,
 		PoolWriteBacks: s.Pages.WriteBacks,
 		CostUnits:      s.Pages.Cost,
+		Faults:         s.Pages.Faults,
+		TornWrites:     s.Pages.TornWrites,
+		Crashes:        s.Pages.Crashes,
+		Retries:        s.Pages.Retries,
 	}
 }
 
@@ -132,6 +142,13 @@ func (o *Observer) WriteMetrics(w io.Writer) error {
 	fmt.Fprintf(bw, "rum_pool_events_total{event=\"miss\"} %d\n", o.total.Misses)
 	fmt.Fprintf(bw, "rum_pool_events_total{event=\"eviction\"} %d\n", o.total.Evictions)
 	fmt.Fprintf(bw, "rum_pool_events_total{event=\"writeback\"} %d\n", o.total.WriteBacks)
+
+	fmt.Fprintln(bw, "# HELP rum_fault_events_total Fault-path events observed: injected faults, torn writes, crash points, retry attempts.")
+	fmt.Fprintln(bw, "# TYPE rum_fault_events_total counter")
+	fmt.Fprintf(bw, "rum_fault_events_total{event=\"fault\"} %d\n", o.total.Faults)
+	fmt.Fprintf(bw, "rum_fault_events_total{event=\"torn\"} %d\n", o.total.TornWrites)
+	fmt.Fprintf(bw, "rum_fault_events_total{event=\"crash\"} %d\n", o.total.Crashes)
+	fmt.Fprintf(bw, "rum_fault_events_total{event=\"retry\"} %d\n", o.total.Retries)
 
 	fmt.Fprintln(bw, "# HELP rum_cost_units_total Medium-weighted cost units observed.")
 	fmt.Fprintln(bw, "# TYPE rum_cost_units_total counter")

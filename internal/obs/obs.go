@@ -58,6 +58,13 @@ type PageCounts struct {
 	Evictions  uint64
 	WriteBacks uint64
 	Cost       uint64
+	// Fault-path events (internal/faults): injected device faults, torn
+	// writes, crash points, and pool retry attempts. A failed transfer
+	// counts no read/write traffic — these counters are its only trace.
+	Faults     uint64
+	TornWrites uint64
+	Crashes    uint64
+	Retries    uint64
 }
 
 // Reads returns total device page reads (base + aux).
@@ -80,6 +87,10 @@ func (c *PageCounts) Merge(o PageCounts) {
 	c.Evictions += o.Evictions
 	c.WriteBacks += o.WriteBacks
 	c.Cost += o.Cost
+	c.Faults += o.Faults
+	c.TornWrites += o.TornWrites
+	c.Crashes += o.Crashes
+	c.Retries += o.Retries
 }
 
 func (c *PageCounts) add(ev storage.Event, class rum.Class, cost uint64) {
@@ -105,6 +116,17 @@ func (c *PageCounts) add(ev storage.Event, class rum.Class, cost uint64) {
 		c.Evictions++
 	case storage.EvWriteBack:
 		c.WriteBacks++
+	case storage.EvFault:
+		c.Faults++
+	case storage.EvTorn:
+		// A torn write is also a fault; EvTorn arrives instead of (not in
+		// addition to) EvFault, so count it in both ledgers.
+		c.Faults++
+		c.TornWrites++
+	case storage.EvCrash:
+		c.Crashes++
+	case storage.EvRetry:
+		c.Retries++
 	}
 }
 

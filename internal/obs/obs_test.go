@@ -14,6 +14,7 @@ import (
 	"repro/internal/methods"
 	"repro/internal/obs"
 	"repro/internal/rum"
+	"repro/internal/storage"
 	"repro/internal/workload"
 )
 
@@ -379,4 +380,40 @@ func (s *memAM) Meter() *rum.Meter { return &s.m }
 
 func (s *memAM) Size() rum.SizeInfo {
 	return rum.SizeInfo{BaseBytes: uint64(len(s.data) * core.RecordSize)}
+}
+
+// TestFaultEventAttribution: fault-path storage events (injected faults,
+// torn writes, crashes, retries) land in the totals and in the open span's
+// page counts — a failed transfer counts no read/write traffic, so these
+// counters are its only trace.
+func TestFaultEventAttribution(t *testing.T) {
+	o := obs.New(obs.Config{SampleEvery: 1 << 20})
+	var hook storage.Hook = o // Observer implements storage.Hook
+	hook.StorageEvent(storage.EvFault, 1, rum.Base, 0)
+	hook.StorageEvent(storage.EvTorn, 2, rum.Base, 20)
+	hook.StorageEvent(storage.EvCrash, 3, rum.Aux, 0)
+	hook.StorageEvent(storage.EvRetry, 1, rum.Base, 0)
+	tot := o.Totals()
+	if tot.Faults != 2 || tot.TornWrites != 1 || tot.Crashes != 1 || tot.Retries != 1 {
+		t.Fatalf("totals: %+v", tot)
+	}
+	// No span open: the events are untraced, and they are not page traffic.
+	if un := o.Untraced(); un.Faults != 2 || un.Touched() != 0 {
+		t.Fatalf("untraced: %+v", un)
+	}
+	// The metrics exposition carries the fault block.
+	var buf bytes.Buffer
+	if err := o.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`rum_fault_events_total{event="fault"} 2`,
+		`rum_fault_events_total{event="torn"} 1`,
+		`rum_fault_events_total{event="crash"} 1`,
+		`rum_fault_events_total{event="retry"} 1`,
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("metrics missing %q", want)
+		}
+	}
 }

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 
 	"repro/internal/rum"
@@ -14,6 +15,15 @@ type PoolStats struct {
 	Evictions  uint64
 	WriteBacks uint64
 	Overflows  uint64 // frames allocated beyond capacity because all were pinned
+	// Retries counts device operations re-attempted after a transient
+	// injected fault (see SetRetryBudget).
+	Retries uint64
+	// RetryFailures counts operations that still failed after the retry
+	// budget was exhausted.
+	RetryFailures uint64
+	// FlushFailures counts dirty-frame write-backs that failed; the frame
+	// stays cached and dirty so no acknowledged data is silently dropped.
+	FlushFailures uint64
 }
 
 // HitRatio returns hits / (hits+misses), or 0 for an untouched pool.
@@ -61,6 +71,7 @@ type BufferPool struct {
 	lru      *list.List // front = most recently used; holds *Frame
 	stats    PoolStats
 	hook     Hook
+	retries  int // extra attempts per device op after a transient fault
 }
 
 // NewBufferPool creates a pool of capacity pages over dev. Capacity must be
@@ -87,6 +98,45 @@ func (p *BufferPool) SetHook(h Hook) { p.hook = h }
 // Capacity returns the pool capacity in pages.
 func (p *BufferPool) Capacity() int { return p.capacity }
 
+// SetRetryBudget sets how many extra attempts the pool makes when a device
+// operation fails with a transient injected fault (storage.ErrTransient).
+// Zero (the default) disables retries; permanent faults and crashes are
+// never retried. Each retry emits an EvRetry pool event and counts in
+// PoolStats.Retries.
+func (p *BufferPool) SetRetryBudget(n int) {
+	if n < 0 {
+		n = 0
+	}
+	p.retries = n
+}
+
+// RetryBudget returns the current retry budget.
+func (p *BufferPool) RetryBudget() int { return p.retries }
+
+// DirtyCount returns the number of cached frames whose contents diverge from
+// the device. After FlushAll it is zero unless write-backs failed; durability
+// checkpoints (e.g. the LSM manifest) must verify it before advancing.
+func (p *BufferPool) DirtyCount() int {
+	n := 0
+	for _, f := range p.frames {
+		if f.dirty {
+			n++
+		}
+	}
+	return n
+}
+
+// Crash simulates losing the pool's volatile state: every frame — pinned or
+// not, dirty or not — is discarded with no write-back. The device image is
+// left exactly as the last successful writes left it. Frames still held by
+// callers become dangling; a crash ends the structure's life, so the only
+// valid next step is recovery against the reopened device.
+func (p *BufferPool) Crash() {
+	p.owner.assert("BufferPool")
+	p.frames = make(map[PageID]*Frame, p.capacity)
+	p.lru.Init()
+}
+
 // Stats returns a copy of the pool counters.
 func (p *BufferPool) Stats() PoolStats { return p.stats }
 
@@ -109,13 +159,49 @@ func (p *BufferPool) Fetch(id PageID) (*Frame, error) {
 	if p.hook != nil {
 		p.hook.StorageEvent(EvMiss, id, p.dev.Class(id), 0)
 	}
-	src, err := p.dev.Read(id)
+	src, err := p.readWithRetry(id)
 	if err != nil {
 		return nil, err
 	}
 	f := p.install(id)
 	copy(f.data, src)
 	return f, nil
+}
+
+// readWithRetry reads a page, re-attempting up to the retry budget when the
+// failure is a transient injected fault. Permanent faults, crashes, and
+// structural errors (ErrFreed, ErrBadPage) fail immediately.
+func (p *BufferPool) readWithRetry(id PageID) ([]byte, error) {
+	src, err := p.dev.Read(id)
+	for attempt := 0; err != nil && errors.Is(err, ErrTransient) && attempt < p.retries; attempt++ {
+		p.stats.Retries++
+		if p.hook != nil {
+			p.hook.StorageEvent(EvRetry, id, p.dev.Class(id), 0)
+		}
+		src, err = p.dev.Read(id)
+	}
+	if err != nil && errors.Is(err, ErrTransient) && p.retries > 0 {
+		p.stats.RetryFailures++
+	}
+	return src, err
+}
+
+// writeWithRetry writes a page image, re-attempting transient injected
+// faults up to the retry budget. Used for write-backs when an injector is
+// armed (the copying path keeps the frame intact across a torn write).
+func (p *BufferPool) writeWithRetry(id PageID, data []byte) error {
+	err := p.dev.Write(id, data)
+	for attempt := 0; err != nil && errors.Is(err, ErrTransient) && attempt < p.retries; attempt++ {
+		p.stats.Retries++
+		if p.hook != nil {
+			p.hook.StorageEvent(EvRetry, id, p.dev.Class(id), 0)
+		}
+		err = p.dev.Write(id, data)
+	}
+	if err != nil && errors.Is(err, ErrTransient) && p.retries > 0 {
+		p.stats.RetryFailures++
+	}
+	return err
 }
 
 // NewPage allocates a fresh zeroed page of class c on the device and returns
@@ -142,15 +228,18 @@ func (p *BufferPool) install(id PageID) *Frame {
 }
 
 // evictOne removes the least recently used unpinned frame, flushing it if
-// dirty. It reports whether a victim was found.
+// dirty. Frames whose write-back fails (an injected device fault) are kept
+// cached and dirty rather than dropped — losing an acknowledged write to an
+// eviction would be silent corruption — so the search moves on to the next
+// victim. It reports whether a victim was found.
 func (p *BufferPool) evictOne() bool {
 	for e := p.lru.Back(); e != nil; e = e.Prev() {
 		f := e.Value.(*Frame)
 		if f.pins > 0 {
 			continue
 		}
-		if f.dirty {
-			p.flushFrame(f)
+		if f.dirty && !p.flushFrame(f) {
+			continue
 		}
 		p.lru.Remove(e)
 		delete(p.frames, f.id)
@@ -163,19 +252,38 @@ func (p *BufferPool) evictOne() bool {
 	return false
 }
 
-func (p *BufferPool) flushFrame(f *Frame) {
-	dst, err := p.dev.WriteInPlace(f.id)
-	if err != nil {
-		// The page was freed while cached; drop the contents.
-		f.dirty = false
-		return
+// flushFrame writes a dirty frame back to the device, reporting success.
+// A frame whose page was freed while cached (ErrFreed, ErrBadPage) has
+// nothing left to persist: its contents are dropped and the flush counts as
+// success. Any other failure — injected faults surviving the retry budget,
+// a crashed device — leaves the frame dirty and counts a FlushFailure.
+func (p *BufferPool) flushFrame(f *Frame) bool {
+	var err error
+	if p.dev.Faulty() {
+		// Copying path: a torn write must tear the device image, not the
+		// frame we may still need to retry from.
+		err = p.writeWithRetry(f.id, f.data)
+	} else {
+		var dst []byte
+		dst, err = p.dev.WriteInPlace(f.id)
+		if err == nil {
+			copy(dst, f.data)
+		}
 	}
-	copy(dst, f.data)
+	if errors.Is(err, ErrFreed) || errors.Is(err, ErrBadPage) {
+		f.dirty = false
+		return true
+	}
+	if err != nil {
+		p.stats.FlushFailures++
+		return false
+	}
 	f.dirty = false
 	p.stats.WriteBacks++
 	if p.hook != nil {
 		p.hook.StorageEvent(EvWriteBack, f.id, p.dev.Class(f.id), 0)
 	}
+	return true
 }
 
 // Release unpins a frame previously returned by Fetch or NewPage.
@@ -202,16 +310,22 @@ func (p *BufferPool) FreePage(id PageID) error {
 }
 
 // FlushAll writes back every dirty frame, leaving them cached and clean.
+// Frames whose write-back fails stay dirty (PoolStats.FlushFailures counts
+// them; DirtyCount reports how many remain). Frames are visited in LRU
+// order, not map order, so an armed fault injector sees the same write
+// sequence on every run — part of the determinism contract with the
+// parallel bench runner.
 func (p *BufferPool) FlushAll() {
 	p.owner.assert("BufferPool")
-	for _, f := range p.frames {
-		if f.dirty {
+	for e := p.lru.Back(); e != nil; e = e.Prev() {
+		if f := e.Value.(*Frame); f.dirty {
 			p.flushFrame(f)
 		}
 	}
 }
 
-// DropAll flushes and then discards every unpinned frame, emptying the cache.
+// DropAll flushes and then discards every unpinned frame, emptying the
+// cache. Frames that are pinned, or that could not be flushed, stay cached.
 func (p *BufferPool) DropAll() {
 	p.owner.assert("BufferPool")
 	p.FlushAll()
@@ -219,7 +333,7 @@ func (p *BufferPool) DropAll() {
 	for e := p.lru.Front(); e != nil; e = next {
 		next = e.Next()
 		f := e.Value.(*Frame)
-		if f.pins > 0 {
+		if f.pins > 0 || f.dirty {
 			continue
 		}
 		p.lru.Remove(e)

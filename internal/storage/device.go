@@ -84,18 +84,33 @@ var (
 	ErrBadPage  = errors.New("storage: invalid page id")
 	ErrFreed    = errors.New("storage: page already freed")
 	ErrInjected = errors.New("storage: injected fault")
+	// ErrTransient marks an injected fault as retryable: a repeated attempt
+	// may succeed (the buffer pool's retry budget only retries these). It
+	// wraps ErrInjected, so errors.Is(err, ErrInjected) also holds.
+	ErrTransient = fmt.Errorf("%w (transient)", ErrInjected)
+	// ErrCrash is the crash sentinel: once an injected fault wraps it, the
+	// device latches into the crashed state and every subsequent Read,
+	// Write, and Free fails with it until Reopen is called. It simulates
+	// the process dying at that instant — whatever was not yet written to
+	// the device (dirty buffer-pool frames, in-memory metadata) is lost.
+	ErrCrash = errors.New("storage: device crashed")
 )
 
-// FaultPlan injects deterministic I/O failures for resilience tests: after
-// the countdown reaches zero, every Nth matching operation fails with
-// ErrInjected.
-type FaultPlan struct {
-	// FailReadAfter fails page reads once this many have succeeded
-	// (0 disables).
-	FailReadAfter uint64
-	// FailWriteAfter fails page writes once this many have succeeded
-	// (0 disables).
-	FailWriteAfter uint64
+// FaultInjector decides, per device operation, whether to inject a failure.
+// The canonical implementation is internal/faults.Injector, a deterministic
+// seed-driven scheduler; tests may supply their own. An injector is
+// single-owner like the Device it is armed on: it is consulted from the
+// device's goroutine only, and never shared between run cells.
+type FaultInjector interface {
+	// ReadFault is consulted once per page read. A non-nil error fails the
+	// read (no traffic is counted). Errors wrapping ErrTransient are
+	// retryable; errors wrapping ErrCrash latch the device.
+	ReadFault(id PageID) error
+	// WriteFault is consulted once per page write. A non-nil error fails
+	// the write; torn > 0 additionally persists the first torn bytes of
+	// the page image before failing — a torn (partial) page write. torn is
+	// ignored when err is nil.
+	WriteFault(id PageID, pageSize int) (torn int, err error)
 }
 
 // Device is a simulated page-granular storage device. It is the single point
@@ -119,7 +134,8 @@ type Device struct {
 	meter     *rum.Meter
 	readCost  uint64
 	writeCost uint64
-	faults    *FaultPlan
+	injector  FaultInjector
+	crashed   bool
 	hook      Hook
 }
 
@@ -142,27 +158,44 @@ func NewDevice(pageSize int, medium Medium, meter *rum.Meter) *Device {
 	}
 }
 
-// InjectFaults arms (or, with nil, disarms) deterministic I/O failures.
-func (d *Device) InjectFaults(plan *FaultPlan) { d.faults = plan }
+// SetInjector arms (or, with nil, disarms) a fault injector. The injector is
+// consulted on every subsequent Read, Write, and WriteInPlace.
+func (d *Device) SetInjector(inj FaultInjector) { d.injector = inj }
+
+// Injector returns the currently armed fault injector, or nil.
+func (d *Device) Injector() FaultInjector { return d.injector }
+
+// Faulty reports whether a fault injector is armed. The buffer pool uses it
+// to pick the copying Write path for flushes (so a torn write cannot corrupt
+// the frame it flushes from) instead of the zero-copy WriteInPlace fast path.
+func (d *Device) Faulty() bool { return d.injector != nil }
+
+// Crashed reports whether the device is latched in the crashed state.
+func (d *Device) Crashed() bool { return d.crashed }
+
+// Reopen clears the crash latch, simulating a process restart against the
+// surviving device image. Page contents, allocation state, and traffic
+// counters are untouched; the injector stays armed (callers that want a
+// clean post-crash device also call SetInjector(nil)).
+func (d *Device) Reopen() { d.crashed = false }
 
 // SetHook attaches (or, with nil, detaches) an observer for page events.
 func (d *Device) SetHook(h Hook) { d.hook = h }
 
-// faultRead reports whether this read should fail, consuming the budget.
-func (d *Device) faultRead() bool {
-	if d.faults == nil || d.faults.FailReadAfter == 0 {
-		return false
+// fail records an injected failure: it classifies err, emits the matching
+// hook event, latches the crash state when err wraps ErrCrash, and returns
+// the error annotated with the operation. Failed operations count no traffic
+// in stats or the meter — the hook event is their only trace.
+func (d *Device) fail(err error, op string, id PageID, cost uint64) error {
+	ev := EvFault
+	if errors.Is(err, ErrCrash) {
+		d.crashed = true
+		ev = EvCrash
 	}
-	d.faults.FailReadAfter--
-	return d.faults.FailReadAfter == 0
-}
-
-func (d *Device) faultWrite() bool {
-	if d.faults == nil || d.faults.FailWriteAfter == 0 {
-		return false
+	if d.hook != nil {
+		d.hook.StorageEvent(ev, id, d.class[id], cost)
 	}
-	d.faults.FailWriteAfter--
-	return d.faults.FailWriteAfter == 0
+	return fmt.Errorf("%w: %s of page %d", err, op, id)
 }
 
 // PageSize returns the device page size in bytes.
@@ -188,6 +221,18 @@ func (d *Device) ResetStats() {
 // LivePages returns the number of currently allocated pages.
 func (d *Device) LivePages() int {
 	return int(d.stats.PagesAllocated - d.stats.PagesFreed)
+}
+
+// LivePageIDs returns the ids of all currently allocated pages in ascending
+// order. Recovery code uses it to scan the surviving image after a crash.
+func (d *Device) LivePageIDs() []PageID {
+	ids := make([]PageID, 0, d.LivePages())
+	for id, alive := range d.live {
+		if alive {
+			ids = append(ids, PageID(id))
+		}
+	}
+	return ids
 }
 
 // LiveBytes returns SizeInfo for the currently allocated pages, split by the
@@ -226,9 +271,17 @@ func (d *Device) Alloc(c rum.Class) PageID {
 	return id
 }
 
-// Free releases a page back to the device.
+// Free releases a page back to the device. After a crash Free fails with
+// ErrCrash: the surviving image is evidence for recovery, and a structure
+// must not be able to release pages it no longer remembers owning. (Alloc
+// stays available post-crash — recovery legitimately allocates, and any
+// orphaned zeroed pages it abandons are garbage-collected by the reopened
+// structure.)
 func (d *Device) Free(id PageID) error {
 	d.owner.assert("Device")
+	if d.crashed {
+		return fmt.Errorf("%w: free of page %d", ErrCrash, id)
+	}
 	if err := d.check(id); err != nil {
 		return err
 	}
@@ -253,11 +306,16 @@ func (d *Device) check(id PageID) error {
 // across a Write to the same page.
 func (d *Device) Read(id PageID) ([]byte, error) {
 	d.owner.assert("Device")
+	if d.crashed {
+		return nil, fmt.Errorf("%w: read of page %d", ErrCrash, id)
+	}
 	if err := d.check(id); err != nil {
 		return nil, err
 	}
-	if d.faultRead() {
-		return nil, fmt.Errorf("%w: read of page %d", ErrInjected, id)
+	if d.injector != nil {
+		if err := d.injector.ReadFault(id); err != nil {
+			return nil, d.fail(err, "read", id, 0)
+		}
 	}
 	d.stats.PageReads++
 	d.stats.CostUnits += d.readCost
@@ -272,14 +330,40 @@ func (d *Device) Read(id PageID) ([]byte, error) {
 // be exactly one page long.
 func (d *Device) Write(id PageID, data []byte) error {
 	d.owner.assert("Device")
+	if d.crashed {
+		return fmt.Errorf("%w: write of page %d", ErrCrash, id)
+	}
 	if err := d.check(id); err != nil {
 		return err
 	}
 	if len(data) != d.pageSize {
 		return fmt.Errorf("storage: write of %d bytes to page of %d", len(data), d.pageSize)
 	}
-	if d.faultWrite() {
-		return fmt.Errorf("%w: write of page %d", ErrInjected, id)
+	if d.injector != nil {
+		if torn, err := d.injector.WriteFault(id, d.pageSize); err != nil {
+			if torn > 0 {
+				// Torn write: a prefix of the page image reached the
+				// medium before the failure. The head did move, so the
+				// event carries the write cost, but the failed write
+				// still counts no stats or meter traffic.
+				if torn > d.pageSize {
+					torn = d.pageSize
+				}
+				copy(d.pages[id][:torn], data[:torn])
+				if d.hook != nil {
+					d.hook.StorageEvent(EvTorn, id, d.class[id], d.writeCost)
+				}
+				if errors.Is(err, ErrCrash) {
+					d.crashed = true
+					if d.hook != nil {
+						d.hook.StorageEvent(EvCrash, id, d.class[id], 0)
+					}
+				}
+				return fmt.Errorf("%w: torn write of page %d (%d/%d bytes persisted)",
+					err, id, torn, d.pageSize)
+			}
+			return d.fail(err, "write", id, 0)
+		}
 	}
 	d.stats.PageWrites++
 	d.stats.CostUnits += d.writeCost
@@ -293,14 +377,22 @@ func (d *Device) Write(id PageID, data []byte) error {
 
 // WriteInPlace counts a page write and returns the page buffer for the caller
 // to mutate directly, avoiding a copy. It is the fast path used by the buffer
-// pool when flushing dirty frames it already owns.
+// pool when flushing dirty frames it already owns and no injector is armed.
+// Injected write faults degrade to clean failures here (nothing is persisted):
+// a torn write needs the new image to copy a prefix from, and in-place callers
+// have not handed one over yet.
 func (d *Device) WriteInPlace(id PageID) ([]byte, error) {
 	d.owner.assert("Device")
+	if d.crashed {
+		return nil, fmt.Errorf("%w: write of page %d", ErrCrash, id)
+	}
 	if err := d.check(id); err != nil {
 		return nil, err
 	}
-	if d.faultWrite() {
-		return nil, fmt.Errorf("%w: write of page %d", ErrInjected, id)
+	if d.injector != nil {
+		if _, err := d.injector.WriteFault(id, d.pageSize); err != nil {
+			return nil, d.fail(err, "write", id, 0)
+		}
 	}
 	d.stats.PageWrites++
 	d.stats.CostUnits += d.writeCost
@@ -315,8 +407,8 @@ func (d *Device) WriteInPlace(id PageID) ([]byte, error) {
 // and stats — reporting its traffic to meter (nil selects a private one).
 // Cloning is how concurrent run cells start from an identical preloaded
 // image without sharing mutable state: preload a template once, then each
-// cell clones it and owns the copy. The clone has no fault plan or hook, and
-// under -tags racecheck it is unowned until first touched.
+// cell clones it and owns the copy. The clone has no injector, crash latch,
+// or hook, and under -tags racecheck it is unowned until first touched.
 func (d *Device) Clone(meter *rum.Meter) *Device {
 	if meter == nil {
 		meter = &rum.Meter{}

@@ -23,6 +23,21 @@ const (
 	// EvWriteBack is a dirty frame flushed to the device; the underlying
 	// device write also arrives as EvWrite.
 	EvWriteBack
+	// EvFault is a device operation failed by an injected fault (see
+	// FaultInjector); the failed operation counts no traffic, so the event
+	// is the only visible trace of it.
+	EvFault
+	// EvTorn is a torn page write: an injected write fault that persisted
+	// only a prefix of the page before failing. The cost carried by the
+	// event is the medium write cost (the device did move the head), but
+	// neither stats nor meters count the failed write.
+	EvTorn
+	// EvCrash is the crash sentinel firing: the device latches into the
+	// crashed state and every subsequent operation fails with ErrCrash.
+	EvCrash
+	// EvRetry is a buffer pool retry of a device operation that failed with
+	// a transient injected fault (see BufferPool.SetRetryBudget).
+	EvRetry
 )
 
 // String names the event as used in exported metrics.
@@ -40,6 +55,14 @@ func (e Event) String() string {
 		return "eviction"
 	case EvWriteBack:
 		return "writeback"
+	case EvFault:
+		return "fault"
+	case EvTorn:
+		return "torn"
+	case EvCrash:
+		return "crash"
+	case EvRetry:
+		return "retry"
 	default:
 		return "unknown"
 	}

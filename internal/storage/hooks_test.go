@@ -65,15 +65,21 @@ func TestDeviceHookEvents(t *testing.T) {
 		}
 	}
 
-	// A failed (injected) read must not emit an event.
-	d.InjectFaults(&FaultPlan{FailReadAfter: 1})
+	// A failed (injected) read emits an EvFault event — zero cost, since the
+	// failed transfer counts no traffic — instead of an EvRead.
+	d.SetInjector(&scriptInjector{failRead: map[uint64]error{1: permanent()}})
 	before := len(rec.events)
 	if _, err := d.Read(base); err == nil {
 		t.Fatal("expected injected fault")
 	}
-	if len(rec.events) != before {
-		t.Fatal("failed read emitted a hook event")
+	if len(rec.events) != before+1 {
+		t.Fatalf("failed read emitted %d events, want 1", len(rec.events)-before)
 	}
+	if e := rec.events[before]; e.Ev != EvFault || e.ID != base || e.Cost != 0 {
+		t.Fatalf("fault event: %+v", e)
+	}
+	before = len(rec.events)
+	d.SetInjector(nil)
 
 	// Detaching stops emissions.
 	d.SetHook(nil)
@@ -132,7 +138,9 @@ func TestPoolHookEvents(t *testing.T) {
 func TestEventString(t *testing.T) {
 	names := map[Event]string{
 		EvRead: "read", EvWrite: "write", EvHit: "hit", EvMiss: "miss",
-		EvEvict: "eviction", EvWriteBack: "writeback", Event(99): "unknown",
+		EvEvict: "eviction", EvWriteBack: "writeback",
+		EvFault: "fault", EvTorn: "torn", EvCrash: "crash", EvRetry: "retry",
+		Event(99): "unknown",
 	}
 	for ev, want := range names {
 		if got := ev.String(); got != want {

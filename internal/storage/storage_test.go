@@ -294,58 +294,3 @@ func TestDeviceRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
-
-func TestFaultInjectionRead(t *testing.T) {
-	d := NewDevice(64, RAM, nil)
-	id := d.Alloc(rum.Base)
-	d.InjectFaults(&FaultPlan{FailReadAfter: 3})
-	for i := 0; i < 2; i++ {
-		if _, err := d.Read(id); err != nil {
-			t.Fatalf("read %d failed early: %v", i, err)
-		}
-	}
-	if _, err := d.Read(id); !errors.Is(err, ErrInjected) {
-		t.Fatalf("third read: %v", err)
-	}
-	// Disarmed after firing (countdown exhausted).
-	if _, err := d.Read(id); err != nil {
-		t.Fatalf("post-fault read: %v", err)
-	}
-	d.InjectFaults(nil)
-	if _, err := d.Read(id); err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestFaultInjectionWrite(t *testing.T) {
-	d := NewDevice(64, RAM, nil)
-	id := d.Alloc(rum.Base)
-	d.InjectFaults(&FaultPlan{FailWriteAfter: 1})
-	if err := d.Write(id, make([]byte, 64)); !errors.Is(err, ErrInjected) {
-		t.Fatalf("write: %v", err)
-	}
-	// The failed write must not have counted as traffic.
-	if d.Stats().PageWrites != 0 {
-		t.Fatalf("failed write counted: %d", d.Stats().PageWrites)
-	}
-}
-
-func TestPoolSurvivesReadFault(t *testing.T) {
-	d := NewDevice(64, RAM, nil)
-	p := NewBufferPool(d, 4)
-	a := d.Alloc(rum.Base)
-	d.InjectFaults(&FaultPlan{FailReadAfter: 1})
-	if _, err := p.Fetch(a); !errors.Is(err, ErrInjected) {
-		t.Fatalf("fetch: %v", err)
-	}
-	// The pool must not cache a frame for the failed fetch.
-	if p.Len() != 0 {
-		t.Fatalf("pool cached a failed frame: %d", p.Len())
-	}
-	// And must recover on the next attempt.
-	f, err := p.Fetch(a)
-	if err != nil {
-		t.Fatalf("recovery fetch: %v", err)
-	}
-	p.Release(f)
-}
