@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race racecheck bench golden chaos-smoke
+.PHONY: check build vet test race racecheck bench golden chaos-smoke serve-smoke
 
 ## check: the full gate — build, vet, race-enabled tests, and the
 ## single-owner assertion build.
@@ -15,6 +15,9 @@ vet:
 test:
 	$(GO) test ./...
 
+## race: the full suite under the race detector — this is what holds the
+## serving layer (internal/serve) and the bench runner to their concurrency
+## contracts on every push.
 race:
 	$(GO) test -race ./...
 
@@ -44,3 +47,13 @@ chaos-smoke:
 	$(GO) run ./cmd/rumbench -exp chaos -quick -n 2048 -ops 1000 -parallel 8 \
 		-faults seed=7,p_read=0.02,p_write=0.02,p_torn=0.5,crash=120 >/tmp/chaos-par.txt
 	diff /tmp/chaos-seq.txt /tmp/chaos-par.txt
+
+## serve-smoke: the serving-layer determinism gate, mirroring chaos-smoke —
+## the serve experiment's stdout must be byte-identical no matter how the
+## run is sharded, batched, or pooled; only the stderr timing report moves.
+serve-smoke:
+	$(GO) run ./cmd/rumbench -exp serve -quick -n 2048 -ops 1000 \
+		-shards 1 -batch 32 -parallel 1 >/tmp/serve-seq.txt
+	$(GO) run ./cmd/rumbench -exp serve -quick -n 2048 -ops 1000 \
+		-shards 8 -batch 64 -parallel 8 >/tmp/serve-par.txt
+	diff /tmp/serve-seq.txt /tmp/serve-par.txt

@@ -10,6 +10,13 @@
 //	rumbench -exp all -parallel 8
 //	rumbench -exp table1 -trace out.jsonl -timeseries ts.csv -metrics metrics.txt
 //	rumbench -exp chaos -faults seed=7,p_read=0.02,p_write=0.02,p_torn=0.5
+//	rumbench -exp serve -shards 8 -clients 16 -batch 128
+//
+// The serve experiment puts the access methods behind the sharded serving
+// layer (internal/serve): conflict-free concurrent client streams, per-shard
+// single-owner structures, merged RUM accounting. Its stdout (clean RUM
+// point, outcome verification) is byte-identical at any -shards/-clients/
+// -batch/-parallel setting; throughput and latency print to stderr.
 //
 // The chaos experiment re-runs the page-backed Table-1 methods on a degraded
 // device (internal/faults): transient/permanent read and write faults, torn
@@ -45,7 +52,7 @@ import (
 )
 
 // knownExps lists every experiment name, in run order.
-var knownExps = []string{"props", "table1", "fig1", "fig2", "fig3", "conjecture", "adaptive", "extensions", "chaos"}
+var knownExps = []string{"props", "table1", "fig1", "fig2", "fig3", "conjecture", "adaptive", "extensions", "chaos", "serve"}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -72,6 +79,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		metrics    = fs.String("metrics", "", "write a Prometheus-style metrics exposition to this file")
 		sample     = fs.Int("sample", 256, "operations between time-series samples")
 		faultSpec  = fs.String("faults", "", "fault plan for the chaos experiment, e.g. seed=1,p_read=0.01,p_write=0.01,p_torn=0.5,crash=200 (empty = default degradation profile)")
+		shards     = fs.Int("shards", 4, "serve experiment: keyspace shard count")
+		clients    = fs.Int("clients", 8, "serve experiment: concurrent client goroutines")
+		batch      = fs.Int("batch", 64, "serve experiment: requests per client batch")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -131,22 +141,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg.Storage.Hook = observer
 	}
 
+	// Experiments return (stdout, stderr) text: stdout is the deterministic
+	// artifact, stderr carries anything wall-clock (the serve experiment's
+	// throughput/latency report). Both print in enumeration order.
 	type expJob struct {
 		name string
-		fn   func(bench.Config) string
+		fn   func(bench.Config) (string, string)
 	}
-	byName := map[string]func(bench.Config) string{
-		"props": func(c bench.Config) string { return bench.RunProps(c).Render() },
-		"table1": func(c bench.Config) string {
+	quiet := func(render func(bench.Config) string) func(bench.Config) (string, string) {
+		return func(c bench.Config) (string, string) { return render(c), "" }
+	}
+	byName := map[string]func(bench.Config) (string, string){
+		"props": quiet(func(c bench.Config) string { return bench.RunProps(c).Render() }),
+		"table1": quiet(func(c bench.Config) string {
 			ns := []int{1 << 14, 1 << 16, 1 << 18}
 			if *quick {
 				ns = []int{1 << 12, 1 << 14}
 			}
 			return bench.RunTable1(c, ns, *m).Render()
-		},
-		"fig1": func(c bench.Config) string { return bench.RunFig1(c).Render() },
-		"fig2": func(c bench.Config) string { return bench.RunFig2(c).Render() },
-		"fig3": func(c bench.Config) string {
+		}),
+		"fig1": quiet(func(c bench.Config) string { return bench.RunFig1(c).Render() }),
+		"fig2": quiet(func(c bench.Config) string { return bench.RunFig2(c).Render() }),
+		"fig3": quiet(func(c bench.Config) string {
 			if c.N == 0 {
 				c.N = 16384
 			}
@@ -154,8 +170,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 				c.Ops = 8000
 			}
 			return bench.RunFig3(c).Render()
-		},
-		"conjecture": func(c bench.Config) string {
+		}),
+		"conjecture": quiet(func(c bench.Config) string {
 			if c.N == 0 {
 				c.N = 16384
 			}
@@ -163,10 +179,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 				c.Ops = 8000
 			}
 			return bench.RunConjecture(c).Render()
-		},
-		"adaptive":   func(c bench.Config) string { return bench.RunAdaptive(c).Render() },
-		"extensions": func(c bench.Config) string { return bench.RunExtensions(c).Render() },
-		"chaos": func(c bench.Config) string {
+		}),
+		"adaptive":   quiet(func(c bench.Config) string { return bench.RunAdaptive(c).Render() }),
+		"extensions": quiet(func(c bench.Config) string { return bench.RunExtensions(c).Render() }),
+		"chaos": quiet(func(c bench.Config) string {
 			if c.N == 0 {
 				c.N = 16384
 			}
@@ -174,6 +190,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 				c.Ops = 8000
 			}
 			return bench.RunChaos(c, plan).Render()
+		}),
+		"serve": func(c bench.Config) (string, string) {
+			if c.N == 0 {
+				c.N = 16384
+			}
+			if c.Ops == 0 {
+				c.Ops = 8000
+			}
+			r := bench.RunServe(c, bench.ServeConfig{Shards: *shards, Clients: *clients, Batch: *batch})
+			return r.Render(), r.RenderTiming()
 		},
 	}
 	var jobs []expJob
@@ -191,6 +217,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// on stdout, the stack on stderr, and the remaining experiments still run.
 	type expResult struct {
 		out     string
+		errout  string // non-deterministic report, printed to stderr in order
 		errText string
 		stack   []byte
 		dur     time.Duration
@@ -213,7 +240,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				results[i].stack = debug.Stack()
 			}
 		}()
-		results[i].out = jobs[i].fn(ecfg)
+		results[i].out, results[i].errout = jobs[i].fn(ecfg)
 	}
 
 	failures := 0
@@ -228,6 +255,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, r.out)
 		}
 		fmt.Fprintln(stdout)
+		if r.errout != "" {
+			fmt.Fprint(stderr, r.errout)
+		}
 		fmt.Fprintf(stderr, "(%s in %v)\n", jobs[i].name, r.dur.Round(time.Millisecond))
 		if r.child != nil {
 			r.child.Finish()

@@ -68,6 +68,32 @@ func TestParallelDeterminism(t *testing.T) {
 	}
 }
 
+// TestServeShardDeterminism extends the determinism contract to the serving
+// layer: the serve experiment's stdout must be byte-identical no matter how
+// the serving run is sharded, batched, or pooled — only the stderr timing
+// report may differ.
+func TestServeShardDeterminism(t *testing.T) {
+	runServe := func(shards, batch, parallel string) []byte {
+		t.Helper()
+		var stdout, stderr bytes.Buffer
+		code := run([]string{
+			"-exp", "serve", "-quick", "-n", "2048", "-ops", "1000", "-seed", "42",
+			"-shards", shards, "-batch", batch, "-parallel", parallel,
+		}, &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("run(-shards %s) exited %d; stderr:\n%s", shards, code, stderr.String())
+		}
+		return stdout.Bytes()
+	}
+	base := runServe("1", "32", "1")
+	if got := runServe("8", "64", "1"); !bytes.Equal(base, got) {
+		t.Errorf("serve stdout differs between -shards 1 and -shards 8:\n--- shards=1\n%s--- shards=8\n%s", base, got)
+	}
+	if got := runServe("3", "16", "8"); !bytes.Equal(base, got) {
+		t.Errorf("serve stdout differs under -parallel 8:\n--- base\n%s--- parallel\n%s", base, got)
+	}
+}
+
 // TestUsageGolden pins the -h output: the flag set is the CLI's public
 // surface, so additions and wording changes must be deliberate. Regenerate
 // with `go test ./cmd/rumbench -run Golden -update` (part of `make golden`).

@@ -8,11 +8,17 @@
 //	rumwizard -get 0.7 -insert 0.2 -update 0.1 -size 1000000
 //	rumwizard -get 0.2 -insert 0.7 -flash         # endurance-limited device
 //	rumwizard -range 0.6 -get 0.3 -memtight -verify
+//
+// The operation fractions must be non-negative and sum to 1 (within a small
+// epsilon); anything else is a usage error, since a malformed mix would
+// silently skew both the predicted ranking and the -verify workload.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
 
 	"repro/internal/core"
@@ -20,39 +26,80 @@ import (
 	"repro/internal/workload"
 )
 
+// mixEpsilon is the tolerance on the fraction sum: wide enough for decimal
+// round-off (0.33+0.33+0.34), far tighter than any real misconfiguration.
+const mixEpsilon = 1e-6
+
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole program behind main, factored for tests. Returns 0 on
+// success, 1 if -verify could not profile any pick, 2 on usage errors.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rumwizard", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		get      = flag.Float64("get", 0.5, "point query fraction")
-		rng      = flag.Float64("range", 0.0, "range query fraction")
-		insert   = flag.Float64("insert", 0.25, "insert fraction")
-		update   = flag.Float64("update", 0.2, "update fraction")
-		del      = flag.Float64("delete", 0.05, "delete fraction")
-		size     = flag.Int("size", 1<<16, "expected record count")
-		read     = flag.Float64("wr", 1, "priority weight on read cost")
-		write    = flag.Float64("wu", 1, "priority weight on write cost")
-		space    = flag.Float64("wm", 1, "priority weight on space")
-		flash    = flag.Bool("flash", false, "endurance-limited storage: bias against write amplification")
-		memtight = flag.Bool("memtight", false, "scarce memory: bias against space amplification")
-		verify   = flag.Bool("verify", false, "profile the top 3 picks on the described workload")
-		ops      = flag.Int("ops", 8000, "operations for -verify")
+		get      = fs.Float64("get", 0.5, "point query fraction")
+		rng      = fs.Float64("range", 0.0, "range query fraction")
+		insert   = fs.Float64("insert", 0.25, "insert fraction")
+		update   = fs.Float64("update", 0.2, "update fraction")
+		del      = fs.Float64("delete", 0.05, "delete fraction")
+		size     = fs.Int("size", 1<<16, "expected record count")
+		read     = fs.Float64("wr", 1, "priority weight on read cost")
+		write    = fs.Float64("wu", 1, "priority weight on write cost")
+		space    = fs.Float64("wm", 1, "priority weight on space")
+		flash    = fs.Bool("flash", false, "endurance-limited storage: bias against write amplification")
+		memtight = fs.Bool("memtight", false, "scarce memory: bias against space amplification")
+		verify   = fs.Bool("verify", false, "profile the top 3 picks on the described workload")
+		ops      = fs.Int("ops", 8000, "operations for -verify")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "rumwizard: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+
+	mix := workload.Mix{Get: *get, Range: *rng, Insert: *insert, Update: *update, Delete: *del}
+	sum := 0.0
+	for _, f := range []struct {
+		name string
+		val  float64
+	}{
+		{"get", mix.Get}, {"range", mix.Range}, {"insert", mix.Insert},
+		{"update", mix.Update}, {"delete", mix.Delete},
+	} {
+		if f.val < 0 || math.IsNaN(f.val) {
+			fmt.Fprintf(stderr, "rumwizard: -%s must be a non-negative fraction, got %v\n", f.name, f.val)
+			return 2
+		}
+		sum += f.val
+	}
+	if math.Abs(sum-1) > mixEpsilon {
+		fmt.Fprintf(stderr, "rumwizard: operation fractions must sum to 1, got %g (get+range+insert+update+delete)\n", sum)
+		return 2
+	}
 
 	req := core.Requirements{
-		Mix:         workload.Mix{Get: *get, Range: *rng, Insert: *insert, Update: *update, Delete: *del},
+		Mix:         mix,
 		DataSize:    *size,
 		Priorities:  core.Priorities{Read: *read, Write: *write, Space: *space},
 		FlashLike:   *flash,
 		MemoryTight: *memtight,
 	}
 	recs := core.Recommend(req)
-	fmt.Println("Access-method wizard (predicted ranking, lower score = better):")
-	fmt.Print(core.Explain(recs))
+	fmt.Fprintln(stdout, "Access-method wizard (predicted ranking, lower score = better):")
+	fmt.Fprint(stdout, core.Explain(recs))
 
 	if !*verify {
-		return
+		return 0
 	}
-	fmt.Println("\nMeasured validation of the top picks:")
+	fmt.Fprintln(stdout, "\nMeasured validation of the top picks:")
 	opt := methods.Options{}
 	catalogName := map[string]string{
 		"btree": "btree", "hash": "hash", "lsm": "lsm-level", "zonemap": "zonemap",
@@ -69,16 +116,21 @@ func main() {
 		}
 		spec, err := methods.Lookup(opt, name)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(stderr, err)
 			continue
 		}
 		gen := workload.New(workload.Config{Seed: 1, Mix: req.Mix, InitialLen: *size, RangeLen: 1 << 30})
 		prof, err := core.RunProfile(spec.New(), gen, *ops)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(stderr, err)
 			continue
 		}
-		fmt.Printf("  %-16s measured %s\n", name, prof.Point)
+		fmt.Fprintf(stdout, "  %-16s measured %s\n", name, prof.Point)
 		shown++
 	}
+	if shown == 0 {
+		fmt.Fprintln(stderr, "rumwizard: -verify profiled no methods")
+		return 1
+	}
+	return 0
 }

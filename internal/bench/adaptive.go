@@ -2,7 +2,7 @@ package bench
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 	"strings"
 
 	"repro/internal/core"
@@ -22,11 +22,11 @@ type CrackStep struct {
 
 // PhaseResult is one workload phase of the morphing run.
 type PhaseResult struct {
-	Phase     string
-	Flavor    string // shape at the end of the phase
-	ReadBytes uint64
-	WriteByte uint64
-	Migrated  int // cumulative migrations
+	Phase      string
+	Flavor     string // shape at the end of the phase
+	ReadBytes  uint64
+	WriteBytes uint64
+	Migrated   int // cumulative migrations
 }
 
 // AdaptiveResult is the Section-4/5 adaptivity experiment: cracking
@@ -64,7 +64,9 @@ func RunAdaptive(cfg Config) AdaptiveResult {
 		st := cracking.New(1<<20, nil)
 		recs := makeRecords(cfg.Seed, cfg.N)
 		// Load via the unsorted path: cracking starts from an unordered heap.
-		rng := rand.New(rand.NewSource(cfg.Seed + 9))
+		// PCG keyed by (seed, stream) per the rand/v2 convention the fault
+		// injector and serve streams use; the legacy math/rand source is gone.
+		rng := rand.New(rand.NewPCG(uint64(cfg.Seed), 9))
 		shuffled := make([]core.Record, len(recs))
 		copy(shuffled, recs)
 		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
@@ -79,7 +81,7 @@ func RunAdaptive(cfg Config) AdaptiveResult {
 		start := st.Meter().Snapshot()
 		for d := 0; d < deciles; d++ {
 			for q := 0; q < perDecile; q++ {
-				lo := recs[rng.Intn(len(recs))].Key
+				lo := recs[rng.IntN(len(recs))].Key
 				st.RangeScan(lo, lo+span, func(core.Key, core.Value) bool { return true })
 			}
 			diff := st.Meter().Diff(start)
@@ -139,11 +141,11 @@ func RunAdaptive(cfg Config) AdaptiveResult {
 			w.Flush()
 			d := w.Meter().Diff(before)
 			res.Phases = append(res.Phases, PhaseResult{
-				Phase:     ph.name,
-				Flavor:    m.CurrentFlavor(),
-				ReadBytes: d.PhysicalRead(),
-				WriteByte: d.PhysicalWritten(),
-				Migrated:  m.Migrations(),
+				Phase:      ph.name,
+				Flavor:     m.CurrentFlavor(),
+				ReadBytes:  d.PhysicalRead(),
+				WriteBytes: d.PhysicalWritten(),
+				Migrated:   m.Migrations(),
 			})
 		}
 		res.Migrations = m.Migrations()
@@ -192,7 +194,7 @@ func (r AdaptiveResult) Render() string {
 	rows = rows[:0]
 	for _, p := range r.Phases {
 		rows = append(rows, []string{
-			p.Phase, p.Flavor, fmtBytes(float64(p.ReadBytes)), fmtBytes(float64(p.WriteByte)), fmt.Sprintf("%d", p.Migrated),
+			p.Phase, p.Flavor, fmtBytes(float64(p.ReadBytes)), fmtBytes(float64(p.WriteBytes)), fmt.Sprintf("%d", p.Migrated),
 		})
 	}
 	b.WriteString(table([]string{"phase", "shape at end", "phys reads", "phys writes", "migrations"}, rows))

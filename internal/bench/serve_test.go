@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func quickServeCfg() Config {
+	return Config{Seed: 42, N: 2048, Ops: 1000}
+}
+
+// The stdout contract: every Render column is independent of shard count,
+// batch size, and runner width. Vary all three and diff the rendering.
+func TestServeRenderDeterministicAcrossShards(t *testing.T) {
+	a := RunServe(quickServeCfg(), ServeConfig{Shards: 1, Clients: 4, Batch: 16})
+	b := RunServe(quickServeCfg(), ServeConfig{Shards: 8, Clients: 4, Batch: 64})
+	wide := quickServeCfg()
+	wide.Runner = NewRunner(4)
+	c := RunServe(wide, ServeConfig{Shards: 3, Clients: 4, Batch: 32})
+	if a.Render() != b.Render() {
+		t.Errorf("Render differs between shards=1 and shards=8:\n--- shards=1\n%s--- shards=8\n%s", a.Render(), b.Render())
+	}
+	if a.Render() != c.Render() {
+		t.Errorf("Render differs between sequential and 4-worker runner:\n--- seq\n%s--- wide\n%s", a.Render(), c.Render())
+	}
+	for _, row := range a.Rows {
+		if !row.Verified {
+			t.Errorf("%s: serving run not verified (%d mismatches, err %q)", row.Method, row.Mismatches, row.ServeErr)
+		}
+		if row.Clean.R <= 0 || row.Clean.M < 1 {
+			t.Errorf("%s: implausible clean point %+v", row.Method, row.Clean)
+		}
+	}
+	if !strings.Contains(a.Render(), "served") || strings.Contains(a.Render(), "FAIL") {
+		t.Errorf("unexpected render:\n%s", a.Render())
+	}
+}
+
+// Client streams must be conflict-free (disjoint key namespaces) and
+// reproducible from the seed alone.
+func TestServeStreamsConflictFreeAndReproducible(t *testing.T) {
+	s1 := makeServeStreams(7, 1024, 2000, 4)
+	s2 := makeServeStreams(7, 1024, 2000, 4)
+	owner := make(map[core.Key]int)
+	for c, st := range s1 {
+		if len(st.ops) != len(s2[c].ops) || len(st.init) != len(s2[c].init) {
+			t.Fatalf("client %d: streams not reproducible", c)
+		}
+		for i := range st.ops {
+			if st.ops[i] != s2[c].ops[i] || st.want[i] != s2[c].want[i] {
+				t.Fatalf("client %d op %d: streams not reproducible", c, i)
+			}
+		}
+		touch := func(k core.Key) {
+			if prev, ok := owner[k]; ok && prev != c {
+				t.Fatalf("key %#x touched by clients %d and %d", k, prev, c)
+			}
+			owner[k] = c
+		}
+		for _, r := range st.init {
+			touch(r.Key)
+		}
+		for _, op := range st.ops {
+			touch(op.Key)
+		}
+	}
+}
+
+// The timing half must stay out of stdout; sanity-check it renders and is
+// explicitly marked non-deterministic.
+func TestServeRenderTiming(t *testing.T) {
+	r := RunServe(quickServeCfg(), ServeConfig{Shards: 2, Clients: 2, Batch: 32})
+	timing := r.RenderTiming()
+	if !strings.Contains(timing, "non-deterministic") || !strings.Contains(timing, "req/s") {
+		t.Errorf("unexpected timing render:\n%s", timing)
+	}
+	if strings.Contains(r.Render(), "shards=") {
+		t.Errorf("stdout render leaks shard count:\n%s", r.Render())
+	}
+}

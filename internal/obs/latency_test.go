@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencyHistogram(t *testing.T) {
+	h := NewLatencyHistogram()
+	for _, d := range []time.Duration{3 * time.Microsecond, 5 * time.Microsecond, 120 * time.Microsecond, -time.Second} {
+		h.RecordDuration(d)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", h.Count())
+	}
+	// 3µs and 5µs land in the 4096ns and 8192ns buckets; the median reports
+	// the upper bound of its bucket (HDR semantics).
+	if got := h.QuantileDuration(0.5); got != 4096*time.Nanosecond {
+		t.Fatalf("p50 = %v, want 4.096µs", got)
+	}
+	if got := h.QuantileDuration(0.99); got < 120*time.Microsecond || got > 256*time.Microsecond {
+		t.Fatalf("p99 = %v, want within one bucket above 120µs", got)
+	}
+}
+
+func TestLatencyHistogramMergeAndSaturation(t *testing.T) {
+	a, b := NewLatencyHistogram(), NewLatencyHistogram()
+	a.RecordDuration(time.Millisecond)
+	b.RecordDuration(time.Hour) // beyond the last bucket
+	a.Merge(b)
+	if a.Count() != 2 {
+		t.Fatalf("merged Count = %d, want 2", a.Count())
+	}
+	if got := a.QuantileDuration(1.0); got != time.Duration(1)<<(latencyBuckets-1) {
+		t.Fatalf("saturated quantile = %v, want top bucket bound", got)
+	}
+}

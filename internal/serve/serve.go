@@ -1,0 +1,551 @@
+// Package serve is the concurrent front-end of the repository: a sharded,
+// actor-style serving layer that partitions the keyspace across N shards,
+// each owning one core.Instrumented access method pinned to the goroutine
+// that built it. Clients submit batches of requests; the server splits each
+// batch into per-shard sub-batches and delivers every sub-batch as a single
+// mailbox message, so the channel-hop cost is amortized over the whole
+// sub-batch rather than paid per operation.
+//
+// The design keeps two invariants the rest of the repository depends on:
+//
+//   - Single owner per shard. Every structure (and the simulated Device and
+//     BufferPool beneath it) is built on its shard's goroutine and never
+//     touched by any other goroutine, so the -tags racecheck goroutine-
+//     binding assertions hold unchanged. Concurrency lives entirely in the
+//     mailbox layer; the access methods themselves stay single-threaded.
+//
+//   - Truthful RUM accounting. Each shard's rum.Meter is a plain Meter on
+//     the hot path (no atomics per byte); meters are snapshotted by the
+//     shard goroutine when it exits and published through the happens-before
+//     edge of Server.Stop, where they merge into one aggregate. The merged
+//     logical side is exact: every request is accounted on exactly one
+//     shard.
+//
+// Ordering: requests from one client (one Do call at a time) are executed in
+// submission order on every shard they touch, because a Do call enqueues at
+// most one message per shard per MaxBatch chunk and mailboxes are FIFO.
+// Requests from different concurrent clients interleave arbitrarily —
+// callers that need deterministic outcomes partition the keyspace between
+// clients (the serve experiment in internal/bench does exactly that).
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/rum"
+)
+
+// Op enumerates the request kinds a shard executes.
+type Op uint8
+
+const (
+	// OpGet is a point query.
+	OpGet Op = iota
+	// OpInsert adds a record.
+	OpInsert
+	// OpUpdate modifies an existing record.
+	OpUpdate
+	// OpDelete removes a record.
+	OpDelete
+)
+
+// String names the op.
+func (o Op) String() string {
+	switch o {
+	case OpGet:
+		return "get"
+	case OpInsert:
+		return "insert"
+	case OpUpdate:
+		return "update"
+	case OpDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Request is one operation submitted to the server. Value is ignored for
+// OpGet and OpDelete.
+type Request struct {
+	Op    Op
+	Key   core.Key
+	Value core.Value
+}
+
+// Result is the outcome of one Request, written into the caller's slice by
+// the shard that executed it. OK means: found (get), inserted without error
+// (insert), or key existed (update, delete). Value is set for a found get.
+type Result struct {
+	Value core.Value
+	OK    bool
+}
+
+// Config sizes a Server. The zero value of every field selects a default.
+type Config struct {
+	// Shards is the number of keyspace partitions, each with its own
+	// goroutine and structure instance (default 1).
+	Shards int
+	// MaxBatch caps the requests carried by one mailbox message; larger
+	// per-shard sub-batches are split (default 256).
+	MaxBatch int
+	// Queue is the mailbox depth in messages per shard (default 4).
+	Queue int
+	// Build constructs shard i's structure. It runs on the shard's own
+	// goroutine — never on the caller's — which is what pins the structure,
+	// and the storage stack under it, to a single owner. Required.
+	Build func(shard int) *core.Instrumented
+}
+
+func (c *Config) defaults() error {
+	if c.Build == nil {
+		return errors.New("serve: Config.Build is required")
+	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("serve: %d shards; need at least 1", c.Shards)
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.Queue <= 0 {
+		c.Queue = 4
+	}
+	return nil
+}
+
+// ErrStopped is returned by calls made after Stop.
+var ErrStopped = errors.New("serve: server is stopped")
+
+// message is one mailbox delivery: a sub-batch of operations (idxs into the
+// shared reqs/res slices), a bulk load, a flush barrier, or a range-scan
+// collection. done is decremented once per message.
+type message struct {
+	kind msgKind
+
+	// kindOps
+	reqs []Request
+	res  []Result
+	idxs []uint32
+
+	// kindBulk
+	recs    []core.Record
+	bulkErr *error
+
+	// kindScan
+	scan *scanPart
+
+	done *completion
+}
+
+type msgKind uint8
+
+const (
+	kindOps msgKind = iota
+	kindBulk
+	kindFlush
+	kindScan
+)
+
+// scanPart collects one shard's contribution to a broadcast range scan.
+type scanPart struct {
+	lo, hi core.Key
+	out    []core.Record
+}
+
+// completion counts outstanding messages of one client call; the channel
+// closes when the last shard finishes.
+type completion struct {
+	pending atomic.Int32
+	done    chan struct{}
+}
+
+func (c *completion) finish() {
+	if c.pending.Add(-1) == 0 {
+		close(c.done)
+	}
+}
+
+// ShardReport is one shard's final ledger, published at Stop: the structure
+// it served, how many requests it executed, and its meter, size, and record
+// count at shutdown.
+type ShardReport struct {
+	Shard int
+	Name  string
+	Ops   uint64
+	Meter rum.Meter
+	Size  rum.SizeInfo
+	Len   int
+	// Err records a shard that died mid-run (a Build or operation panic).
+	// Requests routed to a dead shard complete with zero Results.
+	Err error
+}
+
+// shard is the per-partition actor state. Everything below mailbox is owned
+// by the shard goroutine and read by others only after Stop's wg.Wait.
+type shard struct {
+	id      int
+	mailbox chan message
+	ops     uint64
+	report  ShardReport
+}
+
+// Server is the sharded serving front-end. All exported methods are safe for
+// concurrent use by any number of client goroutines, except Stop, which must
+// be called once, after every client call has returned.
+type Server struct {
+	cfg    Config
+	shards []*shard
+	wg     sync.WaitGroup
+
+	mu      sync.RWMutex // guards stopped against in-flight sends
+	stopped bool
+}
+
+// New starts cfg.Shards shard goroutines and returns the serving front-end.
+// Build runs asynchronously on each shard's goroutine; requests submitted
+// before a shard finishes building simply queue in its mailbox.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	for i := range s.shards {
+		s.shards[i] = &shard{id: i, mailbox: make(chan message, cfg.Queue)}
+	}
+	s.wg.Add(len(s.shards))
+	for _, sh := range s.shards {
+		go s.runShard(sh)
+	}
+	return s, nil
+}
+
+// Shards returns the configured shard count.
+func (s *Server) Shards() int { return len(s.shards) }
+
+// shardOf routes a key to its home shard with a finalizer-style mix so
+// sequential and scattered key patterns both spread evenly. The mapping
+// depends only on (key, shard count) — never on scheduling — so request
+// routing is deterministic.
+func (s *Server) shardOf(k core.Key) int {
+	if len(s.shards) == 1 {
+		return 0
+	}
+	x := uint64(k)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return int(x % uint64(len(s.shards)))
+}
+
+// runShard is the actor loop: build the structure, then apply messages until
+// the mailbox closes. A panic (in Build or in an operation) marks the shard
+// dead and drains the mailbox, completing every remaining message so no
+// client deadlocks; the error surfaces from Stop.
+func (s *Server) runShard(sh *shard) {
+	defer s.wg.Done()
+	defer func() {
+		if v := recover(); v != nil {
+			sh.report.Err = fmt.Errorf("serve: shard %d: %v", sh.id, v)
+			sh.report.Shard = sh.id
+			sh.report.Ops = sh.ops
+			for msg := range sh.mailbox {
+				msg.done.finish()
+			}
+		}
+	}()
+	am := s.cfg.Build(sh.id)
+	for msg := range sh.mailbox {
+		sh.apply(am, msg)
+	}
+	sh.report = ShardReport{
+		Shard: sh.id,
+		Name:  am.Name(),
+		Ops:   sh.ops,
+		Meter: am.Meter().Snapshot(),
+		Size:  am.Size(),
+		Len:   am.Len(),
+	}
+}
+
+// apply executes one message. The completion fires even if an operation
+// panics (the panic then kills the shard via runShard's recover).
+func (sh *shard) apply(am *core.Instrumented, msg message) {
+	defer msg.done.finish()
+	switch msg.kind {
+	case kindOps:
+		for _, i := range msg.idxs {
+			req := &msg.reqs[i]
+			// Assign whole Results: callers reuse res buffers across Do
+			// calls, so a partial write (OK only) would leak a stale Value
+			// from an earlier batch into this one's outcome.
+			var out Result
+			switch req.Op {
+			case OpGet:
+				out.Value, out.OK = am.Get(req.Key)
+			case OpInsert:
+				out.OK = am.Insert(req.Key, req.Value) == nil
+			case OpUpdate:
+				out.OK = am.Update(req.Key, req.Value)
+			case OpDelete:
+				out.OK = am.Delete(req.Key)
+			}
+			msg.res[i] = out
+		}
+		sh.ops += uint64(len(msg.idxs))
+	case kindBulk:
+		if err := am.BulkLoad(msg.recs); err != nil {
+			*msg.bulkErr = fmt.Errorf("serve: shard %d bulkload: %w", sh.id, err)
+		}
+	case kindFlush:
+		am.Flush()
+	case kindScan:
+		p := msg.scan
+		am.RangeScan(p.lo, p.hi, func(k core.Key, v core.Value) bool {
+			p.out = append(p.out, core.Record{Key: k, Value: v})
+			return true
+		})
+	}
+}
+
+// Do executes a batch of requests and fills res (which must be the same
+// length) with their outcomes. The call blocks until every request has
+// executed; requests from this call are applied to each shard in slice
+// order. Do may be called concurrently from any number of goroutines.
+func (s *Server) Do(reqs []Request, res []Result) error {
+	if len(reqs) != len(res) {
+		return fmt.Errorf("serve: Do: %d requests but %d result slots", len(reqs), len(res))
+	}
+	if len(reqs) == 0 {
+		return nil
+	}
+	nsh := len(s.shards)
+	// Partition request indices by home shard: one counting pass, then a
+	// placement pass into a single backing array, so a Do call allocates a
+	// constant number of slices regardless of batch size.
+	counts := make([]int, nsh)
+	home := make([]uint32, len(reqs))
+	for i := range reqs {
+		h := s.shardOf(reqs[i].Key)
+		home[i] = uint32(h)
+		counts[h]++
+	}
+	idxBuf := make([]uint32, len(reqs))
+	starts := make([]int, nsh+1)
+	for i := 0; i < nsh; i++ {
+		starts[i+1] = starts[i] + counts[i]
+	}
+	fill := make([]int, nsh)
+	copy(fill, starts[:nsh])
+	for i := range reqs {
+		h := home[i]
+		idxBuf[fill[h]] = uint32(i)
+		fill[h]++
+	}
+	// One message per (shard, MaxBatch chunk).
+	total := 0
+	for _, c := range counts {
+		total += (c + s.cfg.MaxBatch - 1) / s.cfg.MaxBatch
+	}
+	comp := &completion{done: make(chan struct{})}
+	comp.pending.Store(int32(total))
+
+	s.mu.RLock()
+	if s.stopped {
+		s.mu.RUnlock()
+		return ErrStopped
+	}
+	for sh := 0; sh < nsh; sh++ {
+		idxs := idxBuf[starts[sh]:starts[sh+1]]
+		for len(idxs) > 0 {
+			n := len(idxs)
+			if n > s.cfg.MaxBatch {
+				n = s.cfg.MaxBatch
+			}
+			s.shards[sh].mailbox <- message{
+				kind: kindOps, reqs: reqs, res: res, idxs: idxs[:n], done: comp,
+			}
+			idxs = idxs[n:]
+		}
+	}
+	s.mu.RUnlock()
+	<-comp.done
+	return nil
+}
+
+// broadcast sends one message per shard (sharing a completion) and waits.
+func (s *Server) broadcast(prepare func(shard int) message) error {
+	comp := &completion{done: make(chan struct{})}
+	comp.pending.Store(int32(len(s.shards)))
+	s.mu.RLock()
+	if s.stopped {
+		s.mu.RUnlock()
+		return ErrStopped
+	}
+	for i, sh := range s.shards {
+		m := prepare(i)
+		m.done = comp
+		sh.mailbox <- m
+	}
+	s.mu.RUnlock()
+	<-comp.done
+	return nil
+}
+
+// Get executes a single point query. Single-op calls pay a full mailbox
+// round-trip; batch with Do where throughput matters.
+func (s *Server) Get(k core.Key) (core.Value, bool) {
+	req := [1]Request{{Op: OpGet, Key: k}}
+	var res [1]Result
+	if s.Do(req[:], res[:]) != nil {
+		return 0, false
+	}
+	return res[0].Value, res[0].OK
+}
+
+// Insert executes a single insert; it reports ErrStopped after Stop and nil
+// otherwise (a duplicate key surfaces as Result.OK=false through Do).
+func (s *Server) Insert(k core.Key, v core.Value) error {
+	req := [1]Request{{Op: OpInsert, Key: k, Value: v}}
+	var res [1]Result
+	if err := s.Do(req[:], res[:]); err != nil {
+		return err
+	}
+	if !res[0].OK {
+		return core.ErrKeyExists
+	}
+	return nil
+}
+
+// Update executes a single update, reporting whether the key existed.
+func (s *Server) Update(k core.Key, v core.Value) bool {
+	req := [1]Request{{Op: OpUpdate, Key: k, Value: v}}
+	var res [1]Result
+	if s.Do(req[:], res[:]) != nil {
+		return false
+	}
+	return res[0].OK
+}
+
+// Delete executes a single delete, reporting whether the key existed.
+func (s *Server) Delete(k core.Key) bool {
+	req := [1]Request{{Op: OpDelete, Key: k}}
+	var res [1]Result
+	if s.Do(req[:], res[:]) != nil {
+		return false
+	}
+	return res[0].OK
+}
+
+// Preload bulk-loads recs, which must be sorted by key and duplicate-free,
+// splitting them across shards by key route. Each shard bulk-loads its
+// (still sorted) subset through its structure's BulkLoad path.
+func (s *Server) Preload(recs []core.Record) error {
+	parts := make([][]core.Record, len(s.shards))
+	for _, r := range recs {
+		h := s.shardOf(r.Key)
+		parts[h] = append(parts[h], r)
+	}
+	errs := make([]error, len(s.shards))
+	if err := s.broadcast(func(i int) message {
+		return message{kind: kindBulk, recs: parts[i], bulkErr: &errs[i]}
+	}); err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush forces every shard's buffered writes down to its device — a
+// broadcast barrier: when Flush returns, all prior requests of this caller
+// have executed and every shard has flushed.
+func (s *Server) Flush() error {
+	return s.broadcast(func(int) message { return message{kind: kindFlush} })
+}
+
+// RangeScan runs a broadcast range query: every shard collects its records
+// in [lo, hi], the parts are merged and sorted by key, and emit is called in
+// ascending key order until it returns false. It returns the number of
+// records emitted. Unlike a single-structure scan, the collection is not
+// streamed: shards gather their full contribution before the merge, so emit
+// stopping early saves emission, not shard work.
+func (s *Server) RangeScan(lo, hi core.Key, emit func(core.Key, core.Value) bool) int {
+	parts := make([]*scanPart, len(s.shards))
+	if err := s.broadcast(func(i int) message {
+		parts[i] = &scanPart{lo: lo, hi: hi}
+		return message{kind: kindScan, scan: parts[i]}
+	}); err != nil {
+		return 0
+	}
+	var all []core.Record
+	for _, p := range parts {
+		all = append(all, p.out...)
+	}
+	// Hash routing scatters key order across shards; one sort restores it
+	// (and tolerates structures whose per-shard scan order is unsorted).
+	sort.Slice(all, func(i, j int) bool { return all[i].Key < all[j].Key })
+	n := 0
+	for _, r := range all {
+		if !emit(r.Key, r.Value) {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// Stop closes every mailbox, waits for the shard goroutines to exit, and
+// returns the per-shard reports in shard order. It must be called exactly
+// once, after all client calls have returned; the reported error joins any
+// shard that died mid-run. Calling any method after Stop returns ErrStopped
+// (or its zero-value equivalent).
+func (s *Server) Stop() ([]ShardReport, error) {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return nil, ErrStopped
+	}
+	s.stopped = true
+	for _, sh := range s.shards {
+		close(sh.mailbox)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	reports := make([]ShardReport, len(s.shards))
+	var err error
+	for i, sh := range s.shards {
+		reports[i] = sh.report
+		if sh.report.Err != nil && err == nil {
+			err = sh.report.Err
+		}
+	}
+	return reports, err
+}
+
+// Aggregate merges per-shard reports into the server-wide ledger: summed
+// meters (exact on the logical side — every request executed on exactly one
+// shard), summed sizes, and the total record count.
+func Aggregate(reports []ShardReport) (rum.Meter, rum.SizeInfo, int) {
+	var m rum.Meter
+	var sz rum.SizeInfo
+	n := 0
+	for _, r := range reports {
+		m.Add(r.Meter)
+		sz = sz.Add(r.Size)
+		n += r.Len
+	}
+	return m, sz, n
+}
