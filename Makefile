@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race racecheck bench golden chaos-smoke serve-smoke
+.PHONY: check build vet test race racecheck bench golden chaos-smoke serve-smoke serve-live-smoke
 
 ## check: the full gate — build, vet, race-enabled tests, and the
 ## single-owner assertion build.
@@ -57,3 +57,11 @@ serve-smoke:
 	$(GO) run ./cmd/rumbench -exp serve -quick -n 2048 -ops 1000 \
 		-shards 8 -batch 64 -parallel 8 >/tmp/serve-par.txt
 	diff /tmp/serve-seq.txt /tmp/serve-par.txt
+
+## serve-live-smoke: the live telemetry plane end to end — start rumserve
+## on an ephemeral port, scrape /healthz, /metrics and /debug/rum, assert
+## the rum_* series are present, and require a clean SIGINT shutdown with
+## a final report.
+serve-live-smoke:
+	$(GO) build -o /tmp/rumserve-smoke ./cmd/rumserve
+	./scripts/serve-live-smoke.sh /tmp/rumserve-smoke

@@ -1,0 +1,643 @@
+// Command rumserve is the live half of the repository's telemetry story: a
+// long-running daemon that stands up the sharded serving layer
+// (internal/serve) over one access method, drives it with the same
+// deterministic conflict-free client streams as `rumbench -exp serve`
+// (bench.StreamGen), and exposes the system's RUM position *while it runs*:
+//
+//	GET /metrics      Prometheus text format: cumulative rum_ro/rum_uo/rum_mo
+//	                  gauges, rolling-window rates over the last -window,
+//	                  request-latency histograms with le buckets, per-shard
+//	                  op counters, shard-balance gauge, fault counters.
+//	GET /debug/rum    JSON snapshot: per-shard meters, rolling-window stats,
+//	                  uptime, config, verification counters.
+//	GET /healthz      liveness probe.
+//	GET /debug/pprof/ the standard Go profiler endpoints.
+//
+// A sampling loop calls serve.Server.Snapshot every -scrape interval — a
+// non-destructive broadcast answered by each shard on its own goroutine —
+// and publishes the points into an obs.Rolling ring; scrape handlers read
+// the ring lock-free, so an aggressive scraper never blocks a shard. With
+// no scraper attached the only telemetry cost is the snapshot itself:
+// O(shards) per -scrape tick, microseconds against a 1-second default.
+//
+// Every live outcome is still verified against its generation-time
+// prediction, exactly like the serve experiment; mismatches surface in
+// /metrics and in the final report. On SIGINT/SIGTERM the daemon drains its
+// clients, stops the server, and prints the same final report as
+// `rumbench -exp serve` — with the one honest difference that the R/U/M
+// columns are the live run's cumulative amplifications (there is no
+// separate clean replay in a daemon).
+//
+// Usage:
+//
+//	rumserve -method lsm-level -shards 8 -rate 50000 -addr :9090
+//	rumserve -method btree -mix get=0.8,insert=0.1,update=0.05,delete=0.05
+//	rumserve -faults seed=7,p_read=0.001 -window 30s -scrape 500ms
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/methods"
+	"repro/internal/obs"
+	"repro/internal/rum"
+	"repro/internal/serve"
+	"repro/internal/storage"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// config is the parsed command line.
+type config struct {
+	method  string
+	shards  int
+	clients int
+	batch   int
+	n       int
+	pool    int
+	rate    float64
+	mix     bench.ServeMix
+	mixSpec string
+	seed    int64
+	plan    faults.Plan
+	addr    string
+	window  time.Duration
+	scrape  time.Duration
+}
+
+// atomicHook counts storage events across all shard goroutines — the
+// concurrency-safe subset of what a full obs.Observer attributes. It feeds
+// the live rum_live_pages_total and rum_fault_events_total series.
+type atomicHook struct {
+	reads, writes                 atomic.Uint64
+	faults, torn, crashes, retries atomic.Uint64
+}
+
+// StorageEvent implements storage.Hook.
+func (h *atomicHook) StorageEvent(ev storage.Event, _ storage.PageID, _ rum.Class, _ uint64) {
+	switch ev {
+	case storage.EvRead:
+		h.reads.Add(1)
+	case storage.EvWrite:
+		h.writes.Add(1)
+	case storage.EvFault:
+		h.faults.Add(1)
+	case storage.EvTorn:
+		h.faults.Add(1)
+		h.torn.Add(1)
+	case storage.EvCrash:
+		h.crashes.Add(1)
+	case storage.EvRetry:
+		h.retries.Add(1)
+	}
+}
+
+// latencyRecorder is one client's latency histogram, mutex-guarded so the
+// sampling loop can clone it at snapshot instants. The lock is taken once
+// per batch (client side) and once per scrape tick (sampler side).
+type latencyRecorder struct {
+	mu sync.Mutex
+	h  *obs.Histogram
+}
+
+func newLatencyRecorder() *latencyRecorder {
+	return &latencyRecorder{h: obs.NewLatencyHistogram()}
+}
+
+func (l *latencyRecorder) record(d time.Duration) {
+	l.mu.Lock()
+	l.h.RecordDuration(d)
+	l.mu.Unlock()
+}
+
+func (l *latencyRecorder) clone() *obs.Histogram {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.h.Clone()
+}
+
+// daemon owns the running system: the sharded server, the driving clients,
+// the sampling loop, and the telemetry plane the HTTP handlers read.
+type daemon struct {
+	cfg  config
+	srv  *serve.Server
+	ring *obs.Rolling
+	reg  *obs.Registry
+	hook *atomicHook
+
+	gens []*bench.StreamGen
+	lats []*latencyRecorder
+
+	preload    int
+	start      time.Time
+	submitted  atomic.Uint64 // requests submitted by drivers
+	hits       atomic.Uint64 // predicted-and-confirmed get hits
+	mismatches atomic.Uint64 // outcomes that diverged from prediction
+	doErrs     atomic.Uint64 // Do calls that failed outright
+
+	stopCh  chan struct{}
+	wg      sync.WaitGroup // drivers + sampler
+	stopped bool
+}
+
+// newDaemon builds the serving stack, preloads it, and starts the client
+// drivers and the snapshot sampler.
+func newDaemon(cfg config) (*daemon, error) {
+	d := &daemon{
+		cfg:    cfg,
+		ring:   obs.NewRolling(ringCapacity(cfg.window, cfg.scrape)),
+		reg:    obs.NewRegistry(),
+		hook:   &atomicHook{},
+		stopCh: make(chan struct{}),
+		start:  time.Now(),
+	}
+	opt := methods.Options{PoolPages: cfg.pool, Hook: d.hook}
+	if _, err := methods.Lookup(opt, cfg.method); err != nil {
+		return nil, err
+	}
+	srv, err := serve.New(serve.Config{
+		Shards:   cfg.shards,
+		MaxBatch: cfg.batch,
+		Build: func(i int) *core.Instrumented {
+			o := opt
+			if cfg.plan.Active() {
+				o.Faults = cfg.plan.Salted(fmt.Sprintf("rumserve-shard-%d", i))
+			}
+			spec, err := methods.Lookup(o, cfg.method)
+			if err != nil {
+				panic(err)
+			}
+			return spec.New()
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.srv = srv
+
+	var init []core.Record
+	for c := 0; c < cfg.clients; c++ {
+		g := bench.NewStreamGen(cfg.seed, c, cfg.mix)
+		d.gens = append(d.gens, g)
+		d.lats = append(d.lats, newLatencyRecorder())
+		init = append(init, g.InitRecords(cfg.n/cfg.clients)...)
+	}
+	init = bench.MergeRecords(init)
+	d.preload = len(init)
+	if err := srv.Preload(init); err != nil {
+		srv.Stop()
+		return nil, err
+	}
+
+	d.reg.Register(obs.SourceFunc(d.collectMetrics))
+	d.wg.Add(1)
+	go d.runSampler()
+	for c := 0; c < cfg.clients; c++ {
+		d.wg.Add(1)
+		go d.runClient(c)
+	}
+	return d, nil
+}
+
+// ringCapacity sizes the snapshot ring to hold several windows' worth of
+// scrape-interval points.
+func ringCapacity(window, scrape time.Duration) int {
+	if scrape <= 0 {
+		scrape = time.Second
+	}
+	n := int(4 * window / scrape)
+	if n < 16 {
+		n = 16
+	}
+	if n > 4096 {
+		n = 4096
+	}
+	return n
+}
+
+// runClient is one driver: generate a batch, submit it, verify the
+// outcomes, pace to the configured rate.
+func (d *daemon) runClient(c int) {
+	defer d.wg.Done()
+	g := d.gens[c]
+	lat := d.lats[c]
+	reqs := make([]serve.Request, d.cfg.batch)
+	want := make([]serve.Result, d.cfg.batch)
+	res := make([]serve.Result, d.cfg.batch)
+	var interval time.Duration
+	if d.cfg.rate > 0 {
+		perClient := d.cfg.rate / float64(d.cfg.clients)
+		interval = time.Duration(float64(d.cfg.batch) / perClient * float64(time.Second))
+	}
+	next := time.Now()
+	for {
+		select {
+		case <-d.stopCh:
+			return
+		default:
+		}
+		for i := range reqs {
+			reqs[i], want[i] = g.Next()
+		}
+		t0 := time.Now()
+		if err := d.srv.Do(reqs, res); err != nil {
+			d.doErrs.Add(1)
+			return
+		}
+		lat.record(time.Since(t0))
+		d.submitted.Add(uint64(len(reqs)))
+		for i := range res {
+			if res[i] != want[i] {
+				d.mismatches.Add(1)
+			} else if reqs[i].Op == serve.OpGet && want[i].OK {
+				d.hits.Add(1)
+			}
+		}
+		if interval > 0 {
+			next = next.Add(interval)
+			if wait := time.Until(next); wait > 0 {
+				select {
+				case <-d.stopCh:
+					return
+				case <-time.After(wait):
+				}
+			} else if wait < -time.Second {
+				next = time.Now() // fell behind by over a second: don't burst
+			}
+		}
+	}
+}
+
+// runSampler publishes one WindowPoint per scrape interval: a
+// non-destructive server snapshot plus a merged clone of the clients'
+// cumulative latency histograms.
+func (d *daemon) runSampler() {
+	defer d.wg.Done()
+	tick := time.NewTicker(d.cfg.scrape)
+	defer tick.Stop()
+	for {
+		select {
+		case <-d.stopCh:
+			return
+		case <-tick.C:
+		}
+		d.sampleOnce()
+	}
+}
+
+// sampleOnce takes one snapshot and pushes it into the ring. A snapshot
+// error (a dead shard) still publishes the live shards' state.
+func (d *daemon) sampleOnce() {
+	reports, err := d.srv.Snapshot()
+	if err != nil && reports == nil {
+		return
+	}
+	merged := obs.NewLatencyHistogram()
+	for _, l := range d.lats {
+		merged.Merge(l.clone())
+	}
+	p := &obs.WindowPoint{At: time.Now(), Latency: merged}
+	for _, r := range reports {
+		p.Shards = append(p.Shards, obs.ShardPoint{
+			Shard: r.Shard, Ops: r.Ops, Meter: r.Meter, Size: r.Size, Len: r.Len,
+		})
+	}
+	d.ring.Push(p)
+}
+
+// collectMetrics is the daemon's live metric source, rendered by the
+// obs.Registry on every /metrics scrape. All values derive from the
+// snapshot ring and atomic counters — nothing here touches the shards.
+func (d *daemon) collectMetrics(e *obs.Encoder) {
+	e.Family("rum_uptime_seconds", "gauge", "Seconds since the daemon started.")
+	e.Float("rum_uptime_seconds", nil, time.Since(d.start).Seconds())
+
+	var m rum.Meter
+	var sz rum.SizeInfo
+	var ops uint64
+	var records int
+	last := d.ring.Last()
+	lat := obs.NewLatencyHistogram()
+	if last != nil {
+		m, sz, ops, records = last.Totals()
+		if last.Latency != nil {
+			lat = last.Latency
+		}
+	}
+	e.Family("rum_requests_total", "counter", "Requests executed by the shards, from the newest snapshot.")
+	e.Uint("rum_requests_total", nil, ops)
+	e.Family("rum_records", "gauge", "Records live across all shards.")
+	e.Uint("rum_records", nil, uint64(records))
+	e.Family("rum_ro", "gauge", "Cumulative read amplification (physical read bytes per logical read byte).")
+	e.Float("rum_ro", nil, m.ReadAmplification())
+	e.Family("rum_uo", "gauge", "Cumulative write amplification (physical written bytes per logical written byte).")
+	e.Float("rum_uo", nil, m.WriteAmplification())
+	e.Family("rum_mo", "gauge", "Space amplification at the newest snapshot (stored bytes per base byte).")
+	e.Float("rum_mo", nil, sz.SpaceAmplification())
+
+	st, haveWin := d.ring.Window(d.cfg.window)
+	e.Family("rum_window_seconds", "gauge", "Actual span of the rolling window behind the _window gauges.")
+	e.Float("rum_window_seconds", nil, st.Span.Seconds())
+	e.Family("rum_ro_window", "gauge", "Read amplification of the traffic inside the rolling window alone.")
+	e.Float("rum_ro_window", nil, st.RO)
+	e.Family("rum_uo_window", "gauge", "Write amplification of the traffic inside the rolling window alone.")
+	e.Float("rum_uo_window", nil, st.UO)
+	e.Family("rum_mo_window", "gauge", "Space amplification at the window's newest instant.")
+	e.Float("rum_mo_window", nil, st.MO)
+	e.Family("rum_window_ops_per_sec", "gauge", "Request throughput over the rolling window.")
+	e.Float("rum_window_ops_per_sec", nil, st.OpsPerSec)
+	e.Family("rum_window_read_bytes_per_op", "gauge", "Physical bytes read per request over the rolling window.")
+	e.Float("rum_window_read_bytes_per_op", nil, st.ReadBytesPerOp)
+	e.Family("rum_window_write_bytes_per_op", "gauge", "Physical bytes written per request over the rolling window.")
+	e.Float("rum_window_write_bytes_per_op", nil, st.WriteBytesPerOp)
+	e.Family("rum_window_p50_ns", "gauge", "Median batch latency of requests completed inside the rolling window.")
+	e.Float("rum_window_p50_ns", nil, float64(st.P50))
+	e.Family("rum_window_p99_ns", "gauge", "p99 batch latency of requests completed inside the rolling window.")
+	e.Float("rum_window_p99_ns", nil, float64(st.P99))
+	e.Family("rum_shard_balance", "gauge", "min/max per-shard ops inside the rolling window (1 = even).")
+	if haveWin {
+		e.Float("rum_shard_balance", nil, st.Balance)
+	} else {
+		e.Float("rum_shard_balance", nil, 1)
+	}
+
+	e.Family("rum_shard_ops_total", "counter", "Requests executed per shard, from the newest snapshot.")
+	if last != nil {
+		for _, s := range last.Shards {
+			e.Uint("rum_shard_ops_total", obs.L("shard", fmt.Sprintf("%d", s.Shard)), s.Ops)
+		}
+	}
+
+	e.Family("rum_request_latency_ns", "histogram", "Per-batch request latency in nanoseconds (power-of-two buckets).")
+	e.Histo("rum_request_latency_ns", nil, lat)
+
+	e.Family("rum_outcome_mismatches_total", "counter", "Live outcomes that diverged from their generation-time prediction.")
+	e.Uint("rum_outcome_mismatches_total", nil, d.mismatches.Load())
+
+	e.Family("rum_live_pages_total", "counter", "Device page operations across all shards, by direction.")
+	e.Uint("rum_live_pages_total", obs.L("dir", "read"), d.hook.reads.Load())
+	e.Uint("rum_live_pages_total", obs.L("dir", "write"), d.hook.writes.Load())
+
+	e.Family("rum_fault_events_total", "counter", "Fault-path events across all shards: injected faults, torn writes, crash points, retry attempts.")
+	e.Uint("rum_fault_events_total", obs.L("event", "fault"), d.hook.faults.Load())
+	e.Uint("rum_fault_events_total", obs.L("event", "torn"), d.hook.torn.Load())
+	e.Uint("rum_fault_events_total", obs.L("event", "crash"), d.hook.crashes.Load())
+	e.Uint("rum_fault_events_total", obs.L("event", "retry"), d.hook.retries.Load())
+}
+
+// debugRUM is the /debug/rum JSON document.
+type debugRUM struct {
+	Config struct {
+		Method  string  `json:"method"`
+		Shards  int     `json:"shards"`
+		Clients int     `json:"clients"`
+		Batch   int     `json:"batch"`
+		Rate    float64 `json:"rate"`
+		Mix     string  `json:"mix"`
+		Seed    int64   `json:"seed"`
+		Preload int     `json:"preload"`
+	} `json:"config"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Requests      uint64  `json:"requests"`
+	Mismatches    uint64  `json:"mismatches"`
+	Cumulative    struct {
+		RO      float64 `json:"ro"`
+		UO      float64 `json:"uo"`
+		MO      float64 `json:"mo"`
+		Records int     `json:"records"`
+	} `json:"cumulative"`
+	WindowSeconds float64          `json:"window_seconds"`
+	Window        *obs.WindowStats `json:"window,omitempty"`
+	At            time.Time        `json:"at"`
+	Shards        []obs.ShardPoint `json:"shards"`
+}
+
+// handleDebugRUM renders the live JSON snapshot.
+func (d *daemon) handleDebugRUM(w http.ResponseWriter, _ *http.Request) {
+	var doc debugRUM
+	doc.Config.Method = d.cfg.method
+	doc.Config.Shards = d.cfg.shards
+	doc.Config.Clients = d.cfg.clients
+	doc.Config.Batch = d.cfg.batch
+	doc.Config.Rate = d.cfg.rate
+	doc.Config.Mix = d.cfg.mix.String()
+	doc.Config.Seed = d.cfg.seed
+	doc.Config.Preload = d.preload
+	doc.UptimeSeconds = time.Since(d.start).Seconds()
+	doc.Mismatches = d.mismatches.Load()
+	doc.WindowSeconds = d.cfg.window.Seconds()
+	if last := d.ring.Last(); last != nil {
+		m, sz, ops, records := last.Totals()
+		doc.Requests = ops
+		doc.Cumulative.RO = jsonSafe(m.ReadAmplification())
+		doc.Cumulative.UO = jsonSafe(m.WriteAmplification())
+		doc.Cumulative.MO = jsonSafe(sz.SpaceAmplification())
+		doc.Cumulative.Records = records
+		doc.At = last.At
+		doc.Shards = last.Shards
+	}
+	if st, ok := d.ring.Window(d.cfg.window); ok {
+		st.RO, st.UO, st.MO = jsonSafe(st.RO), jsonSafe(st.UO), jsonSafe(st.MO)
+		doc.Window = &st
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc)
+}
+
+// jsonSafe clamps +Inf (legal in our amplification algebra, illegal in
+// JSON) to a large sentinel.
+func jsonSafe(v float64) float64 {
+	if v > 1e308 || v != v {
+		return -1
+	}
+	return v
+}
+
+// handler builds the daemon's HTTP mux.
+func (d *daemon) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", d.reg)
+	mux.HandleFunc("/debug/rum", d.handleDebugRUM)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// stop drains the drivers, stops the server, and assembles the final
+// report — the daemon's equivalent of the serve experiment's result row.
+func (d *daemon) stop() (bench.ServeResult, error) {
+	if d.stopped {
+		return bench.ServeResult{}, serve.ErrStopped
+	}
+	d.stopped = true
+	close(d.stopCh)
+	d.wg.Wait()
+	elapsed := time.Since(d.start)
+	flushErr := d.srv.Flush()
+	reports, err := d.srv.Stop()
+	if err == nil {
+		err = flushErr
+	}
+	meter, size, n := serve.Aggregate(reports)
+
+	latency := obs.NewLatencyHistogram()
+	for _, l := range d.lats {
+		latency.Merge(l.h) // drivers are joined; direct reads are safe
+	}
+	wantLen := 0
+	for _, g := range d.gens {
+		wantLen += g.Live()
+	}
+	row := bench.ServeRow{
+		Method:     d.cfg.method,
+		Clean:      rum.PointOf(meter, size),
+		Requests:   int(d.submitted.Load()),
+		Hits:       int(d.hits.Load()),
+		FinalLen:   wantLen,
+		Mismatches: int(d.mismatches.Load()),
+		Elapsed:    elapsed,
+		P50:        latency.QuantileDuration(0.50),
+		P99:        latency.QuantileDuration(0.99),
+		ServeMeter: meter,
+	}
+	if err != nil {
+		row.ServeErr = err.Error()
+	}
+	row.Verified = row.Mismatches == 0 && row.ServeErr == "" && d.doErrs.Load() == 0 && n == wantLen
+	if s := elapsed.Seconds(); s > 0 {
+		row.Throughput = float64(row.Requests) / s
+	}
+	for _, r := range reports {
+		row.ShardOps = append(row.ShardOps, r.Ops)
+	}
+	res := bench.ServeResult{
+		N:       d.preload,
+		Ops:     row.Requests,
+		Clients: d.cfg.clients,
+		Shards:  d.cfg.shards,
+		Batch:   d.cfg.batch,
+		Rows:    []bench.ServeRow{row},
+	}
+	return res, err
+}
+
+// run is the whole program behind main: parse flags, start the daemon,
+// serve HTTP until a signal (or until ready is closed in tests), then shut
+// down and print the final report. Returns the process exit code.
+func run(args []string, stdout, stderr io.Writer, testSignal <-chan struct{}) int {
+	fs := flag.NewFlagSet("rumserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var cfg config
+	var faultSpec string
+	fs.StringVar(&cfg.method, "method", "btree", "access method to serve (any catalog name: btree, hash, lsm-level, skiplist, ...)")
+	fs.IntVar(&cfg.shards, "shards", 4, "keyspace shard count")
+	fs.IntVar(&cfg.clients, "clients", 4, "concurrent driver clients")
+	fs.IntVar(&cfg.batch, "batch", 64, "requests per client batch")
+	fs.IntVar(&cfg.n, "n", 16384, "records to preload")
+	fs.IntVar(&cfg.pool, "pool", 8, "buffer pool pages per shard")
+	fs.Float64Var(&cfg.rate, "rate", 0, "target requests/second across all clients (0 = unthrottled)")
+	fs.StringVar(&cfg.mixSpec, "mix", "", "operation mix, e.g. get=0.5,insert=0.2,update=0.15,delete=0.15,getmiss=0.1 (empty = serve experiment default)")
+	fs.Int64Var(&cfg.seed, "seed", 1, "deterministic workload seed")
+	fs.StringVar(&faultSpec, "faults", "", "fault plan, e.g. seed=7,p_read=0.01 (empty = no injected faults)")
+	fs.StringVar(&cfg.addr, "addr", "127.0.0.1:8080", "HTTP listen address (use :0 for an ephemeral port)")
+	fs.DurationVar(&cfg.window, "window", 10*time.Second, "rolling window for the _window gauges")
+	fs.DurationVar(&cfg.scrape, "scrape", time.Second, "interval between shard snapshots")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "rumserve: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+	var err error
+	if cfg.mix, err = bench.ParseServeMix(cfg.mixSpec); err != nil {
+		fmt.Fprintf(stderr, "rumserve: -mix: %v\n", err)
+		return 2
+	}
+	if cfg.plan, err = faults.ParsePlan(faultSpec); err != nil {
+		fmt.Fprintf(stderr, "rumserve: -faults: %v\n", err)
+		return 2
+	}
+	if cfg.shards < 1 || cfg.clients < 1 || cfg.batch < 1 || cfg.n < cfg.clients || cfg.scrape <= 0 || cfg.window <= 0 {
+		fmt.Fprintln(stderr, "rumserve: -shards/-clients/-batch must be ≥ 1, -n ≥ -clients, -scrape/-window > 0")
+		return 2
+	}
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "rumserve: listen: %v\n", err)
+		return 1
+	}
+	d, err := newDaemon(cfg)
+	if err != nil {
+		ln.Close()
+		fmt.Fprintf(stderr, "rumserve: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "rumserve: listening on %s\n", ln.Addr())
+	fmt.Fprintf(stderr, "rumserve: serving %s across %d shards, %d clients, mix %s\n",
+		cfg.method, cfg.shards, cfg.clients, cfg.mix)
+
+	httpSrv := &http.Server{Handler: d.handler()}
+	httpDone := make(chan error, 1)
+	go func() { httpDone <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintf(stderr, "rumserve: %v, shutting down\n", sig)
+	case <-testSignal:
+	case err := <-httpDone:
+		fmt.Fprintf(stderr, "rumserve: http: %v\n", err)
+		d.stop()
+		return 1
+	}
+
+	res, stopErr := d.stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	httpSrv.Shutdown(ctx)
+
+	fmt.Fprint(stdout, res.Render())
+	fmt.Fprint(stderr, res.RenderTiming())
+	if stopErr != nil {
+		fmt.Fprintf(stderr, "rumserve: %v\n", stopErr)
+		return 1
+	}
+	if !res.Rows[0].Verified {
+		fmt.Fprintf(stderr, "rumserve: %d outcome mismatches\n", res.Rows[0].Mismatches)
+		return 1
+	}
+	return 0
+}

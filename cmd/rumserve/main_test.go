@@ -1,0 +1,220 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+)
+
+// syncBuffer is a bytes.Buffer safe to read while run() writes to it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func testConfig() config {
+	return config{
+		method:  "skiplist",
+		shards:  2,
+		clients: 2,
+		batch:   16,
+		n:       256,
+		pool:    8,
+		rate:    0,
+		mix:     bench.DefaultServeMix(),
+		seed:    1,
+		addr:    "127.0.0.1:0",
+		window:  250 * time.Millisecond,
+		scrape:  5 * time.Millisecond,
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// get performs one in-process request against the daemon's mux.
+func get(t *testing.T, d *daemon, path string) (int, string, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	d.handler().ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec.Code, rec.Body.String(), rec.Header().Get("Content-Type")
+}
+
+// TestDaemonEndpoints drives a live daemon and exercises every HTTP surface:
+// healthz, the Prometheus exposition, and the JSON debug snapshot.
+func TestDaemonEndpoints(t *testing.T) {
+	d, err := newDaemon(testConfig())
+	if err != nil {
+		t.Fatalf("newDaemon: %v", err)
+	}
+	waitFor(t, "first snapshot with traffic", func() bool {
+		last := d.ring.Last()
+		if last == nil {
+			return false
+		}
+		_, _, ops, _ := last.Totals()
+		return ops > 0 && d.ring.Len() >= 3
+	})
+
+	code, body, _ := get(t, d, "/healthz")
+	if code != 200 || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	code, body, ctype := get(t, d, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content type = %q", ctype)
+	}
+	for _, series := range []string{
+		"rum_uptime_seconds", "rum_requests_total", "rum_records",
+		"rum_ro ", "rum_uo ", "rum_mo ",
+		"rum_ro_window", "rum_uo_window", "rum_mo_window",
+		"rum_window_ops_per_sec", "rum_shard_balance",
+		`rum_shard_ops_total{shard="0"}`, `rum_shard_ops_total{shard="1"}`,
+		`rum_request_latency_ns_bucket{le="+Inf"}`,
+		"rum_request_latency_ns_sum", "rum_request_latency_ns_count",
+		"rum_outcome_mismatches_total",
+		`rum_fault_events_total{event="fault"}`,
+		`rum_live_pages_total{dir="read"}`,
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("/metrics missing %q", series)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if line == "" {
+			t.Error("/metrics contains an empty line")
+		}
+	}
+
+	code, body, ctype = get(t, d, "/debug/rum")
+	if code != 200 || ctype != "application/json" {
+		t.Fatalf("/debug/rum = %d %q", code, ctype)
+	}
+	var doc debugRUM
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/debug/rum is not JSON: %v\n%s", err, body)
+	}
+	if doc.Config.Method != "skiplist" || doc.Config.Shards != 2 {
+		t.Fatalf("/debug/rum config = %+v", doc.Config)
+	}
+	if doc.Requests == 0 || len(doc.Shards) != 2 {
+		t.Fatalf("/debug/rum snapshot empty: requests=%d shards=%d", doc.Requests, len(doc.Shards))
+	}
+	if doc.Cumulative.Records != doc.Shards[0].Len+doc.Shards[1].Len {
+		t.Fatalf("/debug/rum records inconsistent: %+v", doc)
+	}
+
+	code, body, _ = get(t, d, "/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+
+	res, err := d.stop()
+	if err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	row := res.Rows[0]
+	if !row.Verified {
+		t.Fatalf("live run not verified: %+v", row)
+	}
+	if row.Requests == 0 || row.Hits == 0 || len(row.ShardOps) != 2 {
+		t.Fatalf("empty final row: %+v", row)
+	}
+	if !strings.Contains(res.Render(), "skiplist") {
+		t.Fatalf("final report missing method:\n%s", res.Render())
+	}
+	// A second stop fails cleanly rather than double-closing.
+	if _, err := d.stop(); err == nil {
+		t.Fatal("second stop did not error")
+	}
+}
+
+// TestRunLifecycle runs the whole binary in-process: flags, listen, serve,
+// simulated signal, final report, exit code.
+func TestRunLifecycle(t *testing.T) {
+	var stdout, stderr syncBuffer
+	sig := make(chan struct{})
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{
+			"-method", "skiplist", "-shards", "2", "-clients", "2",
+			"-batch", "16", "-n", "256", "-rate", "50000",
+			"-addr", "127.0.0.1:0", "-scrape", "5ms", "-window", "250ms",
+		}, &stdout, &stderr, sig)
+	}()
+	waitFor(t, "listening line", func() bool {
+		return strings.Contains(stderr.String(), "listening on")
+	})
+	time.Sleep(50 * time.Millisecond)
+	close(sig)
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("run exited %d\nstderr:\n%s", code, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not exit after signal")
+	}
+	if !strings.Contains(stdout.String(), "skiplist") {
+		t.Fatalf("final report missing:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "verified=true") && !strings.Contains(stdout.String(), "verified") {
+		t.Logf("stdout:\n%s\nstderr:\n%s", stdout.String(), stderr.String())
+	}
+}
+
+// TestRunFlagErrors locks in the exit codes for bad invocations.
+func TestRunFlagErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"bad flag", []string{"-nonsense"}, 2},
+		{"bad mix", []string{"-mix", "get=2"}, 2},
+		{"bad faults", []string{"-faults", "bogus"}, 2},
+		{"positional args", []string{"extra"}, 2},
+		{"bad shards", []string{"-shards", "0"}, 2},
+		{"unknown method", []string{"-method", "no-such-method", "-addr", "127.0.0.1:0"}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run(tc.args, &out, &errb, nil); code != tc.code {
+				t.Fatalf("run(%v) = %d, want %d\nstderr:\n%s", tc.args, code, tc.code, errb.String())
+			}
+		})
+	}
+}

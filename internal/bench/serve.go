@@ -2,7 +2,6 @@ package bench
 
 import (
 	"fmt"
-	"math/rand/v2"
 	"sort"
 	"strings"
 	"sync"
@@ -92,7 +91,9 @@ const (
 // makeServeStreams generates one conflict-free stream per client: client c
 // draws from its own PCG stream and owns the keys tagged c+1 in the high
 // bits, so no two clients ever touch the same key and every outcome is
-// decided by the client's own program order.
+// decided by the client's own program order. The per-op generation lives in
+// the exported StreamGen (workload.go), which cmd/rumserve drives
+// open-endedly; this wrapper pregenerates a fixed-length slice of it.
 func makeServeStreams(seed int64, n, ops, clients int) []serveStream {
 	streams := make([]serveStream, clients)
 	for c := range streams {
@@ -102,95 +103,19 @@ func makeServeStreams(seed int64, n, ops, clients int) []serveStream {
 }
 
 func makeServeStream(seed int64, client, nInit, nOps int) serveStream {
-	rng := rand.New(rand.NewPCG(uint64(seed), serveStreamSalt+uint64(client)))
-	ns := core.Key(client+1) << 44
-	used := make(map[core.Key]bool, nInit+nOps)
-	fresh := func() core.Key {
-		for {
-			k := ns | core.Key(rng.Uint64()&(1<<40-1))
-			if !used[k] {
-				used[k] = true
-				return k
-			}
-		}
-	}
-	model := make(map[core.Key]core.Value, nInit)
-	var live []core.Key
-	pos := make(map[core.Key]int, nInit)
-	addLive := func(k core.Key) { pos[k] = len(live); live = append(live, k) }
-	removeLive := func(k core.Key) {
-		i := pos[k]
-		last := len(live) - 1
-		live[i] = live[last]
-		pos[live[i]] = i
-		live = live[:last]
-		delete(pos, k)
-	}
-
-	st := serveStream{init: make([]core.Record, 0, nInit)}
-	for i := 0; i < nInit; i++ {
-		k := fresh()
-		v := core.Value(rng.Uint64())
-		st.init = append(st.init, core.Record{Key: k, Value: v})
-		model[k] = v
-		addLive(k)
-	}
-	sort.Slice(st.init, func(i, j int) bool { return st.init[i].Key < st.init[j].Key })
-
+	g := NewStreamGen(seed, client, DefaultServeMix())
+	st := serveStream{init: g.InitRecords(nInit)}
 	st.ops = make([]serve.Request, 0, nOps)
 	st.want = make([]serve.Result, 0, nOps)
-	emit := func(req serve.Request, res serve.Result) {
-		st.ops = append(st.ops, req)
-		st.want = append(st.want, res)
-	}
-	insert := func() {
-		k := fresh()
-		v := core.Value(rng.Uint64())
-		emit(serve.Request{Op: serve.OpInsert, Key: k, Value: v}, serve.Result{OK: true})
-		model[k] = v
-		addLive(k)
-	}
-	pick := func() (core.Key, bool) {
-		if len(live) == 0 {
-			return 0, false
-		}
-		return live[rng.IntN(len(live))], true
-	}
 	for i := 0; i < nOps; i++ {
-		r := rng.Float64()
-		switch {
-		case r < serveFracGet:
-			if rng.Float64() < serveGetMiss {
-				emit(serve.Request{Op: serve.OpGet, Key: fresh()}, serve.Result{})
-				continue
-			}
-			if k, ok := pick(); ok {
-				emit(serve.Request{Op: serve.OpGet, Key: k}, serve.Result{Value: model[k], OK: true})
-				st.hits++
-				continue
-			}
-			insert()
-		case r < serveFracGet+serveFracInsert:
-			insert()
-		case r < serveFracGet+serveFracInsert+serveFracUpdate:
-			if k, ok := pick(); ok {
-				v := core.Value(rng.Uint64())
-				emit(serve.Request{Op: serve.OpUpdate, Key: k, Value: v}, serve.Result{OK: true})
-				model[k] = v
-				continue
-			}
-			insert()
-		default:
-			if k, ok := pick(); ok {
-				emit(serve.Request{Op: serve.OpDelete, Key: k}, serve.Result{OK: true})
-				delete(model, k)
-				removeLive(k)
-				continue
-			}
-			insert()
+		req, want := g.Next()
+		st.ops = append(st.ops, req)
+		st.want = append(st.want, want)
+		if req.Op == serve.OpGet && want.OK {
+			st.hits++
 		}
 	}
-	st.finalLen = len(model)
+	st.finalLen = g.Live()
 	return st
 }
 

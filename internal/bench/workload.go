@@ -1,0 +1,240 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+// This file is the serve experiment's workload generator, exported: the
+// same deterministic, conflict-free client streams that drive the batch
+// experiment (RunServe) also drive the live daemon (cmd/rumserve), which
+// needs an open-ended generator rather than a pregenerated slice. Each
+// client owns a namespaced key range and draws from its own PCG stream, so
+// every request's outcome is computable at generation time — the live
+// serving layer is verified against predictions on every batch, exactly
+// like the experiment.
+
+// ServeMix is the operation mix of a generated client stream. Get, Insert,
+// Update, and Delete are fractions of all requests (summing to ~1);
+// GetMiss is the fraction of gets that target an absent key.
+type ServeMix struct {
+	Get, Insert, Update, Delete float64
+	GetMiss                     float64
+}
+
+// DefaultServeMix returns the serve experiment's fixed mix: point-op heavy,
+// no range scans.
+func DefaultServeMix() ServeMix {
+	return ServeMix{
+		Get:     serveFracGet,
+		Insert:  serveFracInsert,
+		Update:  serveFracUpdate,
+		Delete:  1 - serveFracGet - serveFracInsert - serveFracUpdate,
+		GetMiss: serveGetMiss,
+	}
+}
+
+// Validate checks the mix: every fraction in [0,1], op fractions summing to
+// 1 within rounding slack.
+func (m ServeMix) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{{"get", m.Get}, {"insert", m.Insert}, {"update", m.Update}, {"delete", m.Delete}, {"getmiss", m.GetMiss}} {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("mix: %s=%g outside [0,1]", f.name, f.v)
+		}
+	}
+	sum := m.Get + m.Insert + m.Update + m.Delete
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("mix: op fractions sum to %g, want 1", sum)
+	}
+	return nil
+}
+
+// ParseServeMix parses "get=0.5,insert=0.2,update=0.15,delete=0.15" (any
+// subset; omitted ops default to the standard mix, getmiss included) and
+// validates the result.
+func ParseServeMix(s string) (ServeMix, error) {
+	m := DefaultServeMix()
+	if strings.TrimSpace(s) == "" {
+		return m, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return m, fmt.Errorf("mix: %q is not key=value", part)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(kv[1]), 64)
+		if err != nil {
+			return m, fmt.Errorf("mix: %q: %v", part, err)
+		}
+		switch strings.TrimSpace(kv[0]) {
+		case "get":
+			m.Get = v
+		case "insert":
+			m.Insert = v
+		case "update":
+			m.Update = v
+		case "delete":
+			m.Delete = v
+		case "getmiss":
+			m.GetMiss = v
+		default:
+			return m, fmt.Errorf("mix: unknown op %q (want get/insert/update/delete/getmiss)", kv[0])
+		}
+	}
+	return m, m.Validate()
+}
+
+// String renders the mix in ParseServeMix form.
+func (m ServeMix) String() string {
+	return fmt.Sprintf("get=%g,insert=%g,update=%g,delete=%g,getmiss=%g",
+		m.Get, m.Insert, m.Update, m.Delete, m.GetMiss)
+}
+
+// StreamGen deterministically generates one client's conflict-free request
+// stream together with the precomputed outcome of every request. The
+// client owns the keys tagged client+1 in the high bits, so streams from
+// different clients never conflict and per-client submission order is the
+// only order that matters. A StreamGen is single-goroutine, like the access
+// methods it feeds.
+type StreamGen struct {
+	rng              *rand.Rand
+	ns               core.Key
+	tGet, tIns, tUpd float64
+	miss             float64
+
+	used  map[core.Key]bool
+	model map[core.Key]core.Value
+	live  []core.Key
+	pos   map[core.Key]int
+}
+
+// NewStreamGen returns client's generator for the given seed and mix. The
+// (seed, client) pair fully determines the stream.
+func NewStreamGen(seed int64, client int, mix ServeMix) *StreamGen {
+	return &StreamGen{
+		rng:   rand.New(rand.NewPCG(uint64(seed), serveStreamSalt+uint64(client))),
+		ns:    core.Key(client+1) << 44,
+		tGet:  mix.Get,
+		tIns:  mix.Get + mix.Insert,
+		tUpd:  mix.Get + mix.Insert + mix.Update,
+		miss:  mix.GetMiss,
+		used:  make(map[core.Key]bool),
+		model: make(map[core.Key]core.Value),
+		pos:   make(map[core.Key]int),
+	}
+}
+
+// fresh draws an unused key from the client's namespace.
+func (g *StreamGen) fresh() core.Key {
+	for {
+		k := g.ns | core.Key(g.rng.Uint64()&(1<<40-1))
+		if !g.used[k] {
+			g.used[k] = true
+			return k
+		}
+	}
+}
+
+func (g *StreamGen) addLive(k core.Key) {
+	g.pos[k] = len(g.live)
+	g.live = append(g.live, k)
+}
+
+func (g *StreamGen) removeLive(k core.Key) {
+	i := g.pos[k]
+	last := len(g.live) - 1
+	g.live[i] = g.live[last]
+	g.pos[g.live[i]] = i
+	g.live = g.live[:last]
+	delete(g.pos, k)
+}
+
+// pick returns a uniformly random live key.
+func (g *StreamGen) pick() (core.Key, bool) {
+	if len(g.live) == 0 {
+		return 0, false
+	}
+	return g.live[g.rng.IntN(len(g.live))], true
+}
+
+// insert generates a fresh-key insert, which always succeeds.
+func (g *StreamGen) insert() (serve.Request, serve.Result) {
+	k := g.fresh()
+	v := core.Value(g.rng.Uint64())
+	g.model[k] = v
+	g.addLive(k)
+	return serve.Request{Op: serve.OpInsert, Key: k, Value: v}, serve.Result{OK: true}
+}
+
+// InitRecords generates n preload records (fresh keys, live in the model),
+// returned sorted by key as BulkLoad requires. Call before the first Next.
+func (g *StreamGen) InitRecords(n int) []core.Record {
+	recs := make([]core.Record, 0, n)
+	for i := 0; i < n; i++ {
+		k := g.fresh()
+		v := core.Value(g.rng.Uint64())
+		recs = append(recs, core.Record{Key: k, Value: v})
+		g.model[k] = v
+		g.addLive(k)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Key < recs[j].Key })
+	return recs
+}
+
+// Next generates the stream's next request and its exact expected outcome.
+// The generator never exhausts: when the mix asks for an op the live set
+// cannot supply (a hit on an empty model), it inserts instead.
+func (g *StreamGen) Next() (serve.Request, serve.Result) {
+	r := g.rng.Float64()
+	switch {
+	case r < g.tGet:
+		if g.rng.Float64() < g.miss {
+			return serve.Request{Op: serve.OpGet, Key: g.fresh()}, serve.Result{}
+		}
+		if k, ok := g.pick(); ok {
+			return serve.Request{Op: serve.OpGet, Key: k}, serve.Result{Value: g.model[k], OK: true}
+		}
+		return g.insert()
+	case r < g.tIns:
+		return g.insert()
+	case r < g.tUpd:
+		if k, ok := g.pick(); ok {
+			v := core.Value(g.rng.Uint64())
+			g.model[k] = v
+			return serve.Request{Op: serve.OpUpdate, Key: k, Value: v}, serve.Result{OK: true}
+		}
+		return g.insert()
+	default:
+		if k, ok := g.pick(); ok {
+			delete(g.model, k)
+			g.removeLive(k)
+			return serve.Request{Op: serve.OpDelete, Key: k}, serve.Result{OK: true}
+		}
+		return g.insert()
+	}
+}
+
+// Live returns the number of records the stream currently leaves live — the
+// expected record count of this client's keyspace slice.
+func (g *StreamGen) Live() int { return len(g.model) }
+
+// MergeRecords sorts a combined preload slice by key, as BulkLoad and
+// Server.Preload require. Client namespaces are disjoint, so concatenating
+// per-client InitRecords and sorting is a true merge.
+func MergeRecords(recs []core.Record) []core.Record {
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Key < recs[j].Key })
+	return recs
+}

@@ -1,0 +1,144 @@
+package obs_test
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+var metricName = regexp.MustCompile(`^[a-z_][a-z0-9_]*$`)
+
+// lintExposition holds an exposition to the format rules every consumer of
+// the shared encoder relies on: each emitted series belongs to a family
+// with # HELP and # TYPE lines, and every family name is a legal Prometheus
+// metric name. Returns the number of sample lines checked.
+func lintExposition(t *testing.T, data []byte) int {
+	t.Helper()
+	helped := map[string]bool{}
+	typed := map[string]string{}
+	samples := 0
+	for ln, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+		if line == "" {
+			t.Errorf("line %d: empty line in exposition", ln+1)
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 4 || fields[3] == "" {
+				t.Errorf("line %d: malformed comment %q", ln+1, line)
+				continue
+			}
+			name := fields[2]
+			if !metricName.MatchString(name) {
+				t.Errorf("line %d: illegal metric name %q", ln+1, name)
+			}
+			if fields[1] == "HELP" {
+				helped[name] = true
+			} else {
+				switch typ := fields[3]; typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+					typed[name] = typ
+				default:
+					t.Errorf("line %d: unknown metric type %q", ln+1, typ)
+				}
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Errorf("line %d: unexpected comment %q", ln+1, line)
+			continue
+		}
+		samples++
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		family := name
+		if typed[family] == "" {
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				if base := strings.TrimSuffix(name, suffix); base != name && typed[base] == "histogram" {
+					family = base
+					break
+				}
+			}
+		}
+		if !metricName.MatchString(name) {
+			t.Errorf("line %d: illegal series name %q", ln+1, name)
+		}
+		if !helped[family] {
+			t.Errorf("line %d: series %q has no # HELP line", ln+1, name)
+		}
+		if typed[family] == "" {
+			t.Errorf("line %d: series %q has no # TYPE line", ln+1, name)
+		}
+	}
+	return samples
+}
+
+// TestMetricsExpositionLint lints the file-export path: every series
+// WriteMetrics emits must carry HELP/TYPE and a legal name.
+func TestMetricsExpositionLint(t *testing.T) {
+	o := goldenObserver(t)
+	var buf bytes.Buffer
+	if err := o.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if n := lintExposition(t, buf.Bytes()); n == 0 {
+		t.Fatal("WriteMetrics emitted no samples")
+	}
+}
+
+// TestRegistryRendersSources lints the live-scrape path and checks that a
+// Registry renders its sources in registration order, through both Render
+// and the HTTP handler.
+func TestRegistryRendersSources(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Register(obs.SourceFunc(func(e *obs.Encoder) {
+		e.Family("live_uptime_seconds", "gauge", "Seconds since start.")
+		e.Float("live_uptime_seconds", nil, 12.5)
+	}))
+	h := obs.NewLatencyHistogram()
+	h.RecordDuration(3 * time.Microsecond)
+	h.RecordDuration(90 * time.Microsecond)
+	r.Register(obs.SourceFunc(func(e *obs.Encoder) {
+		e.Family("live_latency_ns", "histogram", "Request latency in nanoseconds.")
+		e.Histo("live_latency_ns", obs.L("client", "0"), h)
+	}))
+
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if n := lintExposition(t, buf.Bytes()); n == 0 {
+		t.Fatal("registry emitted no samples")
+	}
+	up := strings.Index(out, "live_uptime_seconds 12.5")
+	lat := strings.Index(out, `live_latency_ns_bucket{client="0",le="4096"} 1`)
+	if up < 0 || lat < 0 {
+		t.Fatalf("render missing expected series:\n%s", out)
+	}
+	if up > lat {
+		t.Fatal("sources rendered out of registration order")
+	}
+	if !strings.Contains(out, `live_latency_ns_count{client="0"} 2`) {
+		t.Fatalf("histogram count series missing:\n%s", out)
+	}
+
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("scrape status %d", rec.Code)
+	}
+	if got := rec.Header().Get("Content-Type"); !strings.HasPrefix(got, "text/plain") {
+		t.Fatalf("scrape content-type %q", got)
+	}
+	if rec.Body.String() != out {
+		t.Fatal("HTTP scrape differs from Render output")
+	}
+}

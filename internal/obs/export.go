@@ -5,8 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math"
-	"strconv"
 )
 
 // SpanJSON is the flat JSONL encoding of one Span. Field order is fixed by
@@ -78,18 +76,6 @@ func (o *Observer) WriteTrace(w io.Writer) error {
 	return bw.Flush()
 }
 
-// fmtFloat renders a float for CSV: fixed precision, "inf" for +Inf so
-// spreadsheet tooling doesn't choke on Go's "+Inf".
-func fmtFloat(v float64) string {
-	if math.IsInf(v, 1) {
-		return "inf"
-	}
-	if math.IsNaN(v) {
-		return "nan"
-	}
-	return strconv.FormatFloat(v, 'f', 4, 64)
-}
-
 // WriteTimeSeries writes the sampled RUM trajectory as CSV. Cumulative
 // read/write amplification (ro, uo) give the headline trajectory; windowed
 // amplification (ro_win, uo_win) expose bursts between samples; mo is the
@@ -115,90 +101,75 @@ func (o *Observer) WriteTimeSeries(w io.Writer) error {
 	return bw.Flush()
 }
 
-// fmtLe renders a histogram bound as a Prometheus le label value.
-func fmtLe(v float64) string {
-	if math.IsInf(v, 1) {
-		return "+Inf"
-	}
-	return strconv.FormatFloat(v, 'g', -1, 64)
-}
-
 // WriteMetrics writes a Prometheus text-format exposition of the run:
 // page-event counters, traced byte counters, per-(method, op) operation
-// counts, and the pages-touched and amplification histograms.
+// counts, and the pages-touched and amplification histograms. It shares the
+// exposition encoder with the live scrape path (Registry), so a file export
+// and a /metrics scrape render identically.
 func (o *Observer) WriteMetrics(w io.Writer) error {
-	bw := bufio.NewWriter(w)
+	e := NewEncoder(w)
+	o.CollectMetrics(e)
+	return e.Flush()
+}
 
-	fmt.Fprintln(bw, "# HELP rum_pages_total Device page operations observed, by direction and data class.")
-	fmt.Fprintln(bw, "# TYPE rum_pages_total counter")
-	fmt.Fprintf(bw, "rum_pages_total{dir=\"read\",class=\"base\"} %d\n", o.total.BaseReads)
-	fmt.Fprintf(bw, "rum_pages_total{dir=\"read\",class=\"aux\"} %d\n", o.total.AuxReads)
-	fmt.Fprintf(bw, "rum_pages_total{dir=\"write\",class=\"base\"} %d\n", o.total.BaseWrites)
-	fmt.Fprintf(bw, "rum_pages_total{dir=\"write\",class=\"aux\"} %d\n", o.total.AuxWrites)
+// CollectMetrics implements Source, emitting the run's metrics through the
+// shared exposition encoder. An Observer is single-goroutine, so collecting
+// it live is only safe from the goroutine that owns it; the live plane
+// (cmd/rumserve) instead collects snapshot-derived sources.
+func (o *Observer) CollectMetrics(e *Encoder) {
+	e.Family("rum_pages_total", "counter", "Device page operations observed, by direction and data class.")
+	e.Uint("rum_pages_total", L("dir", "read", "class", "base"), o.total.BaseReads)
+	e.Uint("rum_pages_total", L("dir", "read", "class", "aux"), o.total.AuxReads)
+	e.Uint("rum_pages_total", L("dir", "write", "class", "base"), o.total.BaseWrites)
+	e.Uint("rum_pages_total", L("dir", "write", "class", "aux"), o.total.AuxWrites)
 
-	fmt.Fprintln(bw, "# HELP rum_pool_events_total Buffer pool events observed.")
-	fmt.Fprintln(bw, "# TYPE rum_pool_events_total counter")
-	fmt.Fprintf(bw, "rum_pool_events_total{event=\"hit\"} %d\n", o.total.Hits)
-	fmt.Fprintf(bw, "rum_pool_events_total{event=\"miss\"} %d\n", o.total.Misses)
-	fmt.Fprintf(bw, "rum_pool_events_total{event=\"eviction\"} %d\n", o.total.Evictions)
-	fmt.Fprintf(bw, "rum_pool_events_total{event=\"writeback\"} %d\n", o.total.WriteBacks)
+	e.Family("rum_pool_events_total", "counter", "Buffer pool events observed.")
+	e.Uint("rum_pool_events_total", L("event", "hit"), o.total.Hits)
+	e.Uint("rum_pool_events_total", L("event", "miss"), o.total.Misses)
+	e.Uint("rum_pool_events_total", L("event", "eviction"), o.total.Evictions)
+	e.Uint("rum_pool_events_total", L("event", "writeback"), o.total.WriteBacks)
 
-	fmt.Fprintln(bw, "# HELP rum_fault_events_total Fault-path events observed: injected faults, torn writes, crash points, retry attempts.")
-	fmt.Fprintln(bw, "# TYPE rum_fault_events_total counter")
-	fmt.Fprintf(bw, "rum_fault_events_total{event=\"fault\"} %d\n", o.total.Faults)
-	fmt.Fprintf(bw, "rum_fault_events_total{event=\"torn\"} %d\n", o.total.TornWrites)
-	fmt.Fprintf(bw, "rum_fault_events_total{event=\"crash\"} %d\n", o.total.Crashes)
-	fmt.Fprintf(bw, "rum_fault_events_total{event=\"retry\"} %d\n", o.total.Retries)
+	e.Family("rum_fault_events_total", "counter", "Fault-path events observed: injected faults, torn writes, crash points, retry attempts.")
+	e.Uint("rum_fault_events_total", L("event", "fault"), o.total.Faults)
+	e.Uint("rum_fault_events_total", L("event", "torn"), o.total.TornWrites)
+	e.Uint("rum_fault_events_total", L("event", "crash"), o.total.Crashes)
+	e.Uint("rum_fault_events_total", L("event", "retry"), o.total.Retries)
 
-	fmt.Fprintln(bw, "# HELP rum_cost_units_total Medium-weighted cost units observed.")
-	fmt.Fprintln(bw, "# TYPE rum_cost_units_total counter")
-	fmt.Fprintf(bw, "rum_cost_units_total %d\n", o.total.Cost)
+	e.Family("rum_cost_units_total", "counter", "Medium-weighted cost units observed.")
+	e.Uint("rum_cost_units_total", nil, o.total.Cost)
 
-	fmt.Fprintln(bw, "# HELP rum_traced_bytes_total Bytes accumulated by traced spans, by kind, direction, and class.")
-	fmt.Fprintln(bw, "# TYPE rum_traced_bytes_total counter")
-	fmt.Fprintf(bw, "rum_traced_bytes_total{kind=\"physical\",dir=\"read\",class=\"base\"} %d\n", o.traced.BaseRead)
-	fmt.Fprintf(bw, "rum_traced_bytes_total{kind=\"physical\",dir=\"read\",class=\"aux\"} %d\n", o.traced.AuxRead)
-	fmt.Fprintf(bw, "rum_traced_bytes_total{kind=\"physical\",dir=\"write\",class=\"base\"} %d\n", o.traced.BaseWritten)
-	fmt.Fprintf(bw, "rum_traced_bytes_total{kind=\"physical\",dir=\"write\",class=\"aux\"} %d\n", o.traced.AuxWritten)
-	fmt.Fprintf(bw, "rum_traced_bytes_total{kind=\"logical\",dir=\"read\"} %d\n", o.traced.LogicalRead)
-	fmt.Fprintf(bw, "rum_traced_bytes_total{kind=\"logical\",dir=\"write\"} %d\n", o.traced.LogicalWritten)
+	e.Family("rum_traced_bytes_total", "counter", "Bytes accumulated by traced spans, by kind, direction, and class.")
+	e.Uint("rum_traced_bytes_total", L("kind", "physical", "dir", "read", "class", "base"), o.traced.BaseRead)
+	e.Uint("rum_traced_bytes_total", L("kind", "physical", "dir", "read", "class", "aux"), o.traced.AuxRead)
+	e.Uint("rum_traced_bytes_total", L("kind", "physical", "dir", "write", "class", "base"), o.traced.BaseWritten)
+	e.Uint("rum_traced_bytes_total", L("kind", "physical", "dir", "write", "class", "aux"), o.traced.AuxWritten)
+	e.Uint("rum_traced_bytes_total", L("kind", "logical", "dir", "read"), o.traced.LogicalRead)
+	e.Uint("rum_traced_bytes_total", L("kind", "logical", "dir", "write"), o.traced.LogicalWritten)
 
-	fmt.Fprintln(bw, "# HELP rum_untraced_pages_total Device page operations that arrived outside any span.")
-	fmt.Fprintln(bw, "# TYPE rum_untraced_pages_total counter")
-	fmt.Fprintf(bw, "rum_untraced_pages_total{dir=\"read\"} %d\n", o.untraced.Reads())
-	fmt.Fprintf(bw, "rum_untraced_pages_total{dir=\"write\"} %d\n", o.untraced.Writes())
+	e.Family("rum_untraced_pages_total", "counter", "Device page operations that arrived outside any span.")
+	e.Uint("rum_untraced_pages_total", L("dir", "read"), o.untraced.Reads())
+	e.Uint("rum_untraced_pages_total", L("dir", "write"), o.untraced.Writes())
 
-	fmt.Fprintln(bw, "# HELP rum_spans_dropped_total Spans discarded after the retention cap.")
-	fmt.Fprintln(bw, "# TYPE rum_spans_dropped_total counter")
-	fmt.Fprintf(bw, "rum_spans_dropped_total %d\n", o.dropped)
+	e.Family("rum_spans_dropped_total", "counter", "Spans discarded after the retention cap.")
+	e.Uint("rum_spans_dropped_total", nil, o.dropped)
 
 	keys := o.HistKeys()
 
-	fmt.Fprintln(bw, "# HELP rum_ops_total Traced logical operations.")
-	fmt.Fprintln(bw, "# TYPE rum_ops_total counter")
+	e.Family("rum_ops_total", "counter", "Traced logical operations.")
 	for _, k := range keys {
-		fmt.Fprintf(bw, "rum_ops_total{method=%q,op=%q} %d\n", k.Method, k.Op, o.ops[k])
+		e.Uint("rum_ops_total", L("method", k.Method, "op", k.Op), o.ops[k])
 	}
 
-	writeHist := func(name string, pick func(*OpHist) *Histogram) {
-		fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+	writeHist := func(name, help string, pick func(*OpHist) *Histogram) {
+		e.Family(name, "histogram", help)
 		for _, k := range keys {
-			h := pick(o.hists[k])
-			bounds, cum := h.Buckets()
-			for i, b := range bounds {
-				fmt.Fprintf(bw, "%s_bucket{method=%q,op=%q,le=%q} %d\n", name, k.Method, k.Op, fmtLe(b), cum[i])
-			}
-			fmt.Fprintf(bw, "%s_bucket{method=%q,op=%q,le=\"+Inf\"} %d\n", name, k.Method, k.Op, cum[len(cum)-1])
-			fmt.Fprintf(bw, "%s_sum{method=%q,op=%q} %s\n", name, k.Method, k.Op, fmtLe(h.Sum()))
-			fmt.Fprintf(bw, "%s_count{method=%q,op=%q} %d\n", name, k.Method, k.Op, h.Count())
+			e.Histo(name, L("method", k.Method, "op", k.Op), pick(o.hists[k]))
 		}
 	}
-	fmt.Fprintln(bw, "# HELP rum_op_pages Device pages touched per traced operation.")
-	writeHist("rum_op_pages", func(h *OpHist) *Histogram { return h.Pages })
-	fmt.Fprintln(bw, "# HELP rum_op_amplification Physical bytes per logical byte, per traced operation.")
-	writeHist("rum_op_amplification", func(h *OpHist) *Histogram { return h.Amp })
-
-	return bw.Flush()
+	writeHist("rum_op_pages", "Device pages touched per traced operation.",
+		func(h *OpHist) *Histogram { return h.Pages })
+	writeHist("rum_op_amplification", "Physical bytes per logical byte, per traced operation.",
+		func(h *OpHist) *Histogram { return h.Amp })
 }
 
 // SummaryLine renders one compact human-readable line per (method, op) with

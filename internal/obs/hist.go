@@ -76,6 +76,43 @@ func (h *Histogram) Merge(o *Histogram) {
 	}
 }
 
+// Clone returns an independent copy of h. The rolling-window plane clones
+// cumulative histograms at sampling instants so later Diff calls can derive
+// per-window distributions without retaining samples.
+func (h *Histogram) Clone() *Histogram {
+	c := &Histogram{
+		bounds: h.bounds, // bounds are immutable after construction
+		counts: make([]uint64, len(h.counts)),
+		n:      h.n,
+		sum:    h.sum,
+		max:    h.max,
+	}
+	copy(c.counts, h.counts)
+	return c
+}
+
+// Diff returns the observations recorded in h since the earlier snapshot
+// prev: per-bucket count deltas, count and sum deltas. prev must be a
+// snapshot of the same histogram's past (same layout, counts no greater
+// than h's); mismatched layouts panic like Merge. Max is not differenced —
+// it carries h's cumulative max, an upper bound for the window.
+func (h *Histogram) Diff(prev *Histogram) *Histogram {
+	if len(prev.bounds) != len(h.bounds) {
+		panic("obs: diff of histograms with different bucket layouts")
+	}
+	d := &Histogram{
+		bounds: h.bounds,
+		counts: make([]uint64, len(h.counts)),
+		n:      h.n - prev.n,
+		sum:    h.sum - prev.sum,
+		max:    h.max,
+	}
+	for i := range d.counts {
+		d.counts[i] = h.counts[i] - prev.counts[i]
+	}
+	return d
+}
+
 // Count returns the number of recorded observations.
 func (h *Histogram) Count() uint64 { return h.n }
 

@@ -23,6 +23,72 @@ func TestLatencyHistogram(t *testing.T) {
 	}
 }
 
+// TestLatencyMergeBracketsQuantiles merges per-client histograms the way the
+// serving layer does and checks the invariant live dashboards rely on: every
+// quantile of the merged distribution lies within [min, max] of the
+// per-client quantiles at the same q.
+func TestLatencyMergeBracketsQuantiles(t *testing.T) {
+	clients := []*Histogram{NewLatencyHistogram(), NewLatencyHistogram(), NewLatencyHistogram()}
+	// Three deliberately skewed clients: fast, slow, bimodal.
+	for i := 0; i < 100; i++ {
+		clients[0].RecordDuration(2 * time.Microsecond)
+		clients[1].RecordDuration(500 * time.Microsecond)
+		if i%2 == 0 {
+			clients[2].RecordDuration(4 * time.Microsecond)
+		} else {
+			clients[2].RecordDuration(2 * time.Millisecond)
+		}
+	}
+	merged := NewLatencyHistogram()
+	var total uint64
+	for _, c := range clients {
+		merged.Merge(c)
+		total += c.Count()
+	}
+	if merged.Count() != total {
+		t.Fatalf("merged Count = %d, want %d", merged.Count(), total)
+	}
+	for _, q := range []float64{0.01, 0.25, 0.50, 0.90, 0.99, 1.0} {
+		lo, hi := time.Duration(1)<<62, time.Duration(0)
+		for _, c := range clients {
+			d := c.QuantileDuration(q)
+			if d < lo {
+				lo = d
+			}
+			if d > hi {
+				hi = d
+			}
+		}
+		if got := merged.QuantileDuration(q); got < lo || got > hi {
+			t.Errorf("merged q=%g = %v outside per-client bracket [%v, %v]", q, got, lo, hi)
+		}
+	}
+}
+
+// TestQuantileDurationEdges pins the contract at the edges: an empty
+// histogram yields zero at every q, q=0 reports the smallest occupied
+// bucket's bound, q=1 the largest.
+func TestQuantileDurationEdges(t *testing.T) {
+	empty := NewLatencyHistogram()
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := empty.QuantileDuration(q); got != 0 {
+			t.Errorf("empty histogram q=%g = %v, want 0", q, got)
+		}
+	}
+	h := NewLatencyHistogram()
+	h.RecordDuration(3 * time.Microsecond)   // 4096ns bucket
+	h.RecordDuration(100 * time.Microsecond) // 131072ns bucket
+	if got := h.QuantileDuration(0); got != 4096*time.Nanosecond {
+		t.Errorf("q=0 = %v, want smallest occupied bound 4.096µs", got)
+	}
+	if got := h.QuantileDuration(1); got != 131072*time.Nanosecond {
+		t.Errorf("q=1 = %v, want largest occupied bound 131.072µs", got)
+	}
+	if got, want := h.QuantileDuration(0), h.QuantileDuration(0.0001); got != want {
+		t.Errorf("q=0 (%v) and q→0 (%v) disagree", got, want)
+	}
+}
+
 func TestLatencyHistogramMergeAndSaturation(t *testing.T) {
 	a, b := NewLatencyHistogram(), NewLatencyHistogram()
 	a.RecordDuration(time.Millisecond)

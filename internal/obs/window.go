@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rum"
+)
+
+// This file is the rolling half of the live telemetry plane. The serving
+// layer (internal/serve) can be snapshotted without stopping; a Rolling
+// ring retains the recent snapshots and derives what cumulative counters
+// hide: rolling-window RUM rates (bytes read/written per operation over the
+// last W seconds rather than since boot), latency quantile deltas between
+// snapshots, and per-shard balance. The cumulative trajectory says where a
+// structure has been; the window says what it is doing right now — a
+// compaction wave shows up as a UO spike in the window long before it moves
+// the cumulative ratio.
+
+// ShardPoint is one shard's ledger at a sampling instant — the live
+// equivalent of a serve.ShardReport, kept serve-agnostic so obs does not
+// import the serving layer.
+type ShardPoint struct {
+	Shard int          `json:"shard"`
+	Ops   uint64       `json:"ops"`
+	Meter rum.Meter    `json:"meter"`
+	Size  rum.SizeInfo `json:"size"`
+	Len   int          `json:"len"`
+}
+
+// WindowPoint is one instant of a live system: a timestamp, every shard's
+// cumulative ledger, and (optionally) the cumulative latency histogram at
+// that instant. Points are immutable once published to a Rolling ring —
+// that immutability is what makes the ring's reads lock-free.
+type WindowPoint struct {
+	At      time.Time
+	Shards  []ShardPoint
+	Latency *Histogram // cumulative; nil when latency is not tracked
+}
+
+// Totals aggregates the point's shards: summed meter, summed size, total
+// operations executed, and total records live.
+func (p *WindowPoint) Totals() (m rum.Meter, sz rum.SizeInfo, ops uint64, n int) {
+	for _, s := range p.Shards {
+		m.Add(s.Meter)
+		sz = sz.Add(s.Size)
+		ops += s.Ops
+		n += s.Len
+	}
+	return m, sz, ops, n
+}
+
+// Rolling is a fixed-capacity ring of recent WindowPoints with lock-free
+// reads: one writer (the sampling loop) publishes immutable points; any
+// number of readers (HTTP scrape handlers) traverse without blocking the
+// writer or each other. Overwritten slots are detected by re-checking the
+// head counter, so readers retry instead of locking.
+type Rolling struct {
+	slots []atomic.Pointer[WindowPoint]
+	head  atomic.Uint64 // number of points ever pushed
+}
+
+// NewRolling returns a ring retaining the last capacity points (minimum 2 —
+// a window needs two ends).
+func NewRolling(capacity int) *Rolling {
+	if capacity < 2 {
+		capacity = 2
+	}
+	return &Rolling{slots: make([]atomic.Pointer[WindowPoint], capacity)}
+}
+
+// Push publishes p as the newest point. Push is single-writer: only the
+// sampling loop may call it.
+func (r *Rolling) Push(p *WindowPoint) {
+	h := r.head.Load()
+	r.slots[h%uint64(len(r.slots))].Store(p)
+	r.head.Store(h + 1)
+}
+
+// Len returns the number of points currently retained.
+func (r *Rolling) Len() int {
+	h := r.head.Load()
+	if h > uint64(len(r.slots)) {
+		return len(r.slots)
+	}
+	return int(h)
+}
+
+// Last returns the newest point, or nil when nothing has been pushed.
+func (r *Rolling) Last() *WindowPoint {
+	h := r.head.Load()
+	if h == 0 {
+		return nil
+	}
+	return r.slots[(h-1)%uint64(len(r.slots))].Load()
+}
+
+// Points returns the retained points, oldest first. If the writer laps the
+// ring mid-read the traversal restarts, so the returned slice is always a
+// consistent, time-ordered suffix of the push history.
+func (r *Rolling) Points() []*WindowPoint {
+	n := uint64(len(r.slots))
+	for {
+		h := r.head.Load()
+		start := uint64(0)
+		if h > n {
+			start = h - n
+		}
+		out := make([]*WindowPoint, 0, h-start)
+		for i := start; i < h; i++ {
+			if p := r.slots[i%n].Load(); p != nil {
+				out = append(out, p)
+			}
+		}
+		if r.head.Load() == h {
+			return out
+		}
+	}
+}
+
+// WindowStats is what a Rolling ring derives from the two ends of a time
+// window: rates and amplifications of the traffic inside the window, the
+// latency distribution of requests completed inside it, and how evenly the
+// shards shared the work.
+type WindowStats struct {
+	Span time.Duration `json:"span_ns"` // actual distance between the two points
+	Ops  uint64        `json:"ops"`     // operations completed in the window
+
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// Physical bytes moved per operation inside the window — the live
+	// "pages touched per op" signal (the serving meters count bytes; divide
+	// by the page size for pages).
+	ReadBytesPerOp  float64 `json:"read_bytes_per_op"`
+	WriteBytesPerOp float64 `json:"write_bytes_per_op"`
+
+	// Windowed RUM point: amplifications of the window's traffic alone, and
+	// the space amplification at the window's newest instant.
+	RO float64 `json:"ro"`
+	UO float64 `json:"uo"`
+	MO float64 `json:"mo"`
+
+	// Latency quantiles of requests completed inside the window (zero when
+	// latency is not tracked).
+	P50 time.Duration `json:"p50_ns"`
+	P99 time.Duration `json:"p99_ns"`
+
+	// Balance is min/max over the per-shard operation counts of the window:
+	// 1 means perfectly even, 0 means at least one shard sat idle. A single
+	// shard reports 1.
+	Balance float64 `json:"balance"`
+
+	// Meter is the raw aggregate delta the rates above are derived from.
+	Meter rum.Meter `json:"meter"`
+}
+
+// StatsBetween derives WindowStats from two snapshots of the same system,
+// p0 the older and p1 the newer.
+func StatsBetween(p0, p1 *WindowPoint) WindowStats {
+	m0, _, ops0, _ := p0.Totals()
+	m1, sz1, ops1, _ := p1.Totals()
+	d := m1.Diff(m0)
+	st := WindowStats{
+		Span:  p1.At.Sub(p0.At),
+		Ops:   ops1 - ops0,
+		RO:    d.ReadAmplification(),
+		UO:    d.WriteAmplification(),
+		MO:    sz1.SpaceAmplification(),
+		Meter: d,
+	}
+	if s := st.Span.Seconds(); s > 0 {
+		st.OpsPerSec = float64(st.Ops) / s
+	}
+	if st.Ops > 0 {
+		st.ReadBytesPerOp = float64(d.PhysicalRead()) / float64(st.Ops)
+		st.WriteBytesPerOp = float64(d.PhysicalWritten()) / float64(st.Ops)
+	}
+	if p0.Latency != nil && p1.Latency != nil {
+		lat := p1.Latency.Diff(p0.Latency)
+		if lat.Count() > 0 {
+			st.P50 = lat.QuantileDuration(0.50)
+			st.P99 = lat.QuantileDuration(0.99)
+		}
+	}
+	st.Balance = shardBalance(p0, p1)
+	return st
+}
+
+// shardBalance returns min/max of per-shard op deltas between two points,
+// matching shards by id. Degenerate cases (one shard, no traffic, shard
+// sets that do not match) report 1 — balanced by absence of evidence.
+func shardBalance(p0, p1 *WindowPoint) float64 {
+	if len(p1.Shards) <= 1 || len(p0.Shards) != len(p1.Shards) {
+		return 1
+	}
+	prev := make(map[int]uint64, len(p0.Shards))
+	for _, s := range p0.Shards {
+		prev[s.Shard] = s.Ops
+	}
+	min, max := ^uint64(0), uint64(0)
+	for _, s := range p1.Shards {
+		d := s.Ops - prev[s.Shard]
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	if max == 0 {
+		return 1
+	}
+	return float64(min) / float64(max)
+}
+
+// Window derives WindowStats over (approximately) the last w of wall time:
+// the newest retained point versus the oldest retained point no older than
+// w before it. With fewer than two points there is no window and ok is
+// false. The ring's capacity bounds how far back a window can reach — size
+// rings as capacity ≥ w / sampling interval.
+func (r *Rolling) Window(w time.Duration) (stats WindowStats, ok bool) {
+	pts := r.Points()
+	if len(pts) < 2 {
+		return WindowStats{}, false
+	}
+	p1 := pts[len(pts)-1]
+	cutoff := p1.At.Add(-w)
+	p0 := pts[0]
+	for _, p := range pts[:len(pts)-1] {
+		if !p.At.Before(cutoff) {
+			p0 = p
+			break
+		}
+	}
+	if p0 == p1 || !p1.At.After(p0.At) {
+		p0 = pts[len(pts)-2]
+	}
+	return StatsBetween(p0, p1), true
+}

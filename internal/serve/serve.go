@@ -142,6 +142,9 @@ type message struct {
 	// kindScan
 	scan *scanPart
 
+	// kindSnap
+	snap *ShardReport
+
 	done *completion
 }
 
@@ -152,6 +155,7 @@ const (
 	kindBulk
 	kindFlush
 	kindScan
+	kindSnap
 )
 
 // scanPart collects one shard's contribution to a broadcast range scan.
@@ -259,6 +263,12 @@ func (s *Server) runShard(sh *shard) {
 			sh.report.Shard = sh.id
 			sh.report.Ops = sh.ops
 			for msg := range sh.mailbox {
+				// A dead shard still answers snapshots — with its error
+				// report — so a live telemetry plane sees the death instead
+				// of hanging or reading zeros.
+				if msg.kind == kindSnap {
+					*msg.snap = sh.report
+				}
 				msg.done.finish()
 			}
 		}
@@ -314,6 +324,20 @@ func (sh *shard) apply(am *core.Instrumented, msg message) {
 			p.out = append(p.out, core.Record{Key: k, Value: v})
 			return true
 		})
+	case kindSnap:
+		// Read on the shard goroutine, like every other access: the meter,
+		// size, and record count are touched only by their single owner, so
+		// the -tags racecheck assertions hold and no lock shadows the hot
+		// path. The write is published to the requester through the
+		// completion's channel-close edge.
+		*msg.snap = ShardReport{
+			Shard: sh.id,
+			Name:  am.Name(),
+			Ops:   sh.ops,
+			Meter: am.Meter().Snapshot(),
+			Size:  am.Size(),
+			Len:   am.Len(),
+		}
 	}
 }
 
@@ -474,6 +498,39 @@ func (s *Server) Preload(recs []core.Record) error {
 // have executed and every shard has flushed.
 func (s *Server) Flush() error {
 	return s.broadcast(func(int) message { return message{kind: kindFlush} })
+}
+
+// Snapshot reads every shard's live ledger — meter, size, record count,
+// operations executed — without stopping the server: a broadcast message
+// that each shard answers on its own goroutine between batches. Snapshots
+// are non-destructive (no counter resets, no barriers on other shards'
+// traffic) and monotone per shard: each shard's counters in a later
+// snapshot are ≥ those in an earlier one, and the final Stop report equals
+// the last snapshot plus whatever executed in between. The reports are
+// Aggregate-compatible.
+//
+// The snapshot is a per-shard-consistent cut, not a global one: shard A's
+// ledger may be read a few batches before shard B's. For rate math over
+// rolling windows that skew is harmless — each shard's series is exact.
+//
+// Snapshot may be called concurrently with Do/Flush/RangeScan from any
+// goroutine. After Stop it returns ErrStopped; a shard that died mid-run
+// answers with its error report, surfaced in the returned error while live
+// shards still report real state.
+func (s *Server) Snapshot() ([]ShardReport, error) {
+	reports := make([]ShardReport, len(s.shards))
+	if err := s.broadcast(func(i int) message {
+		return message{kind: kindSnap, snap: &reports[i]}
+	}); err != nil {
+		return nil, err
+	}
+	var err error
+	for i := range reports {
+		if reports[i].Err != nil && err == nil {
+			err = reports[i].Err
+		}
+	}
+	return reports, err
 }
 
 // RangeScan runs a broadcast range query: every shard collects its records

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# serve-live-smoke: end-to-end check of the live telemetry plane.
+#
+# Starts rumserve on an ephemeral port, waits for /healthz, scrapes
+# /metrics and /debug/rum, asserts the load-bearing series are present,
+# then sends SIGINT and requires a clean exit with a final report on
+# stdout. Run via `make serve-live-smoke`.
+set -euo pipefail
+
+BIN="${1:?usage: serve-live-smoke.sh <rumserve binary>}"
+TMP="$(mktemp -d)"
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+"$BIN" -method btree -shards 2 -clients 2 -batch 16 -n 2048 \
+  -rate 20000 -scrape 100ms -window 2s -addr 127.0.0.1:0 \
+  >"$TMP/stdout" 2>"$TMP/stderr" &
+PID=$!
+
+# The daemon prints its resolved address to stderr once listening.
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR="$(sed -n 's/^rumserve: listening on //p' "$TMP/stderr" | head -1)"
+  [ -n "$ADDR" ] && break
+  kill -0 "$PID" 2>/dev/null || { echo "rumserve died at startup:"; cat "$TMP/stderr"; exit 1; }
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "rumserve never reported its address"; cat "$TMP/stderr"; exit 1; }
+
+for _ in $(seq 1 50); do
+  curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+[ "$(curl -fsS "http://$ADDR/healthz")" = "ok" ] || { echo "/healthz not ok"; exit 1; }
+
+# Let a few scrape ticks land so the window gauges are live.
+sleep 1
+curl -fsS "http://$ADDR/metrics" >"$TMP/metrics"
+curl -fsS "http://$ADDR/debug/rum" >"$TMP/debug"
+
+for series in rum_ro rum_uo rum_mo rum_ro_window rum_uo_window rum_mo_window \
+  rum_requests_total rum_window_ops_per_sec rum_shard_balance \
+  rum_request_latency_ns_bucket rum_request_latency_ns_sum \
+  rum_request_latency_ns_count rum_fault_events_total \
+  rum_outcome_mismatches_total rum_shard_ops_total; do
+  grep -q "^$series" "$TMP/metrics" || {
+    echo "missing series $series in /metrics:"; cat "$TMP/metrics"; exit 1; }
+done
+grep -q 'le="+Inf"' "$TMP/metrics" || { echo "latency histogram lacks +Inf bucket"; exit 1; }
+grep -q '"shards": \[' "$TMP/debug" || { echo "/debug/rum has no shards:"; cat "$TMP/debug"; exit 1; }
+grep -q '"window"' "$TMP/debug" || { echo "/debug/rum has no rolling window:"; cat "$TMP/debug"; exit 1; }
+
+kill -INT "$PID"
+for _ in $(seq 1 100); do
+  kill -0 "$PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$PID" 2>/dev/null; then echo "rumserve ignored SIGINT"; exit 1; fi
+wait "$PID" || { echo "rumserve exited non-zero:"; cat "$TMP/stderr"; exit 1; }
+
+grep -q "btree" "$TMP/stdout" || { echo "no final report on stdout:"; cat "$TMP/stdout"; exit 1; }
+echo "serve-live-smoke: ok ($ADDR)"
