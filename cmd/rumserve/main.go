@@ -46,6 +46,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -89,6 +90,21 @@ type config struct {
 type atomicHook struct {
 	reads, writes                 atomic.Uint64
 	faults, torn, crashes, retries atomic.Uint64
+}
+
+// teeHook fans one shard's storage events out to the process-wide atomic
+// counters and to the shard's own phase recorder. Both sinks are safe for
+// the shard goroutine: the atomics by construction, the recorder because it
+// is only ever touched by its owning shard.
+type teeHook struct {
+	global *atomicHook
+	shard  *obs.PhaseRecorder
+}
+
+// StorageEvent implements storage.Hook.
+func (t teeHook) StorageEvent(ev storage.Event, id storage.PageID, class rum.Class, cost uint64) {
+	t.global.StorageEvent(ev, id, class, cost)
+	t.shard.StorageEvent(ev, id, class, cost)
 }
 
 // StorageEvent implements storage.Hook.
@@ -142,6 +158,10 @@ type daemon struct {
 	ring *obs.Rolling
 	reg  *obs.Registry
 	hook *atomicHook
+	// recs[i] is shard i's phase recorder, written by the TraceConfig
+	// Recorder callback on shard i's goroutine just before Build reads it
+	// back to wire the tee hook — same goroutine, disjoint slots, no race.
+	recs []*obs.PhaseRecorder
 
 	gens []*bench.StreamGen
 	lats []*latencyRecorder
@@ -158,6 +178,10 @@ type daemon struct {
 	stopped bool
 }
 
+// slowTraceCap is the flight-recorder capacity: the slowest recent requests
+// retained for /debug/slow and the shutdown report.
+const slowTraceCap = 64
+
 // newDaemon builds the serving stack, preloads it, and starts the client
 // drivers and the snapshot sampler.
 func newDaemon(cfg config) (*daemon, error) {
@@ -173,11 +197,24 @@ func newDaemon(cfg config) (*daemon, error) {
 	if _, err := methods.Lookup(opt, cfg.method); err != nil {
 		return nil, err
 	}
+	d.recs = make([]*obs.PhaseRecorder, cfg.shards)
 	srv, err := serve.New(serve.Config{
 		Shards:   cfg.shards,
 		MaxBatch: cfg.batch,
+		Trace: &serve.TraceConfig{
+			SlowK:   slowTraceCap,
+			SlowTTL: time.Minute,
+			Recorder: func(i int) *obs.PhaseRecorder {
+				d.recs[i] = obs.NewPhaseRecorder()
+				return d.recs[i]
+			},
+		},
 		Build: func(i int) *core.Instrumented {
 			o := opt
+			// The Recorder callback already ran on this goroutine, so the
+			// shard's storage stack can tee its events into the recorder:
+			// traces then carry per-op page/fault/retry attribution.
+			o.Hook = teeHook{global: d.hook, shard: d.recs[i]}
 			if cfg.plan.Active() {
 				o.Faults = cfg.plan.Salted(fmt.Sprintf("rumserve-shard-%d", i))
 			}
@@ -207,6 +244,7 @@ func newDaemon(cfg config) (*daemon, error) {
 		return nil, err
 	}
 
+	d.reg.Register(obs.SourceFunc(d.collectProcessMetrics))
 	d.reg.Register(obs.SourceFunc(d.collectMetrics))
 	d.wg.Add(1)
 	go d.runSampler()
@@ -314,7 +352,7 @@ func (d *daemon) sampleOnce() {
 	for _, l := range d.lats {
 		merged.Merge(l.clone())
 	}
-	p := &obs.WindowPoint{At: time.Now(), Latency: merged}
+	p := &obs.WindowPoint{At: time.Now(), Latency: merged, Phases: serve.AggregatePhases(reports)}
 	for _, r := range reports {
 		p.Shards = append(p.Shards, obs.ShardPoint{
 			Shard: r.Shard, Ops: r.Ops, Meter: r.Meter, Size: r.Size, Len: r.Len,
@@ -323,13 +361,26 @@ func (d *daemon) sampleOnce() {
 	d.ring.Push(p)
 }
 
+// collectProcessMetrics is the daemon's own health as a metric source:
+// uptime, staleness of the newest snapshot (a wedged sampler shows up as
+// this gauge climbing), and the goroutine count.
+func (d *daemon) collectProcessMetrics(e *obs.Encoder) {
+	e.Family("rum_uptime_seconds", "gauge", "Seconds since the daemon started.")
+	e.Float("rum_uptime_seconds", nil, time.Since(d.start).Seconds())
+	e.Family("rum_snapshot_age_seconds", "gauge", "Age of the newest shard snapshot (uptime until the first sample lands).")
+	age := time.Since(d.start)
+	if last := d.ring.Last(); last != nil {
+		age = time.Since(last.At)
+	}
+	e.Float("rum_snapshot_age_seconds", nil, age.Seconds())
+	e.Family("rum_goroutines", "gauge", "Goroutines in the daemon process.")
+	e.Uint("rum_goroutines", nil, uint64(runtime.NumGoroutine()))
+}
+
 // collectMetrics is the daemon's live metric source, rendered by the
 // obs.Registry on every /metrics scrape. All values derive from the
 // snapshot ring and atomic counters — nothing here touches the shards.
 func (d *daemon) collectMetrics(e *obs.Encoder) {
-	e.Family("rum_uptime_seconds", "gauge", "Seconds since the daemon started.")
-	e.Float("rum_uptime_seconds", nil, time.Since(d.start).Seconds())
-
 	var m rum.Meter
 	var sz rum.SizeInfo
 	var ops uint64
@@ -372,6 +423,10 @@ func (d *daemon) collectMetrics(e *obs.Encoder) {
 	e.Float("rum_window_p50_ns", nil, float64(st.P50))
 	e.Family("rum_window_p99_ns", "gauge", "p99 batch latency of requests completed inside the rolling window.")
 	e.Float("rum_window_p99_ns", nil, float64(st.P99))
+	e.Family("rum_window_queue_p99_seconds", "gauge", "p99 mailbox queue wait of ops executed inside the rolling window.")
+	e.Float("rum_window_queue_p99_seconds", nil, st.QueueP99.Seconds())
+	e.Family("rum_window_service_p99_seconds", "gauge", "p99 service time of ops executed inside the rolling window.")
+	e.Float("rum_window_service_p99_seconds", nil, st.ServiceP99.Seconds())
 	e.Family("rum_shard_balance", "gauge", "min/max per-shard ops inside the rolling window (1 = even).")
 	if haveWin {
 		e.Float("rum_shard_balance", nil, st.Balance)
@@ -388,6 +443,24 @@ func (d *daemon) collectMetrics(e *obs.Encoder) {
 
 	e.Family("rum_request_latency_ns", "histogram", "Per-batch request latency in nanoseconds (power-of-two buckets).")
 	e.Histo("rum_request_latency_ns", nil, lat)
+
+	// Lifecycle decomposition: per-op queue wait and service time, rendered
+	// in base-unit seconds from the same nanosecond buckets. The service
+	// histogram's bucket lines carry exemplars — the worst recent op that
+	// landed in each bucket, with its full decomposition.
+	if last != nil && last.Phases != nil {
+		ph := last.Phases
+		e.Family("rum_queue_wait_seconds", "histogram", "Per-op mailbox queue wait (enqueue to execution start) in seconds.")
+		e.HistoScaled("rum_queue_wait_seconds", nil, ph.Queue, 1e-9, nil)
+		e.Family("rum_service_seconds", "histogram", "Per-op service time (execution only) in seconds; bucket exemplars carry the worst recent op.")
+		e.HistoScaled("rum_service_seconds", nil, ph.Service, 1e-9, ph.Exemplars)
+		e.Family("rum_batch_size", "histogram", "Operations carried per mailbox message.")
+		e.Histo("rum_batch_size", nil, ph.Batch)
+	}
+	e.Family("rum_mailbox_depth", "gauge", "Mailbox occupancy in messages, per shard.")
+	for i, depth := range d.srv.MailboxDepths() {
+		e.Uint("rum_mailbox_depth", obs.L("shard", fmt.Sprintf("%d", i)), uint64(depth))
+	}
 
 	e.Family("rum_outcome_mismatches_total", "counter", "Live outcomes that diverged from their generation-time prediction.")
 	e.Uint("rum_outcome_mismatches_total", nil, d.mismatches.Load())
@@ -473,11 +546,29 @@ func jsonSafe(v float64) float64 {
 	return v
 }
 
+// handleDebugSlow renders the flight recorder: the slowest recent requests,
+// slowest first, each with its queue/service/device decomposition. The read
+// is lock-free, so an aggressive poller never blocks a shard.
+func (d *daemon) handleDebugSlow(w http.ResponseWriter, _ *http.Request) {
+	traces := d.srv.SlowTraces()
+	if traces == nil {
+		traces = []obs.SlowTrace{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(struct {
+		Cap    int             `json:"cap"`
+		Traces []obs.SlowTrace `json:"traces"`
+	}{Cap: slowTraceCap, Traces: traces})
+}
+
 // handler builds the daemon's HTTP mux.
 func (d *daemon) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", d.reg)
 	mux.HandleFunc("/debug/rum", d.handleDebugRUM)
+	mux.HandleFunc("/debug/slow", d.handleDebugSlow)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		io.WriteString(w, "ok\n")
 	})
@@ -525,6 +616,12 @@ func (d *daemon) stop() (bench.ServeResult, error) {
 		P50:        latency.QuantileDuration(0.50),
 		P99:        latency.QuantileDuration(0.99),
 		ServeMeter: meter,
+	}
+	if ph := serve.AggregatePhases(reports); ph != nil {
+		row.QueueP50 = ph.Queue.QuantileDuration(0.50)
+		row.QueueP99 = ph.Queue.QuantileDuration(0.99)
+		row.ServiceP50 = ph.Service.QuantileDuration(0.50)
+		row.ServiceP99 = ph.Service.QuantileDuration(0.99)
 	}
 	if err != nil {
 		row.ServeErr = err.Error()
@@ -574,22 +671,39 @@ func run(args []string, stdout, stderr io.Writer, testSignal <-chan struct{}) in
 		}
 		return 2
 	}
-	if fs.NArg() > 0 {
-		fmt.Fprintf(stderr, "rumserve: unexpected arguments: %v\n", fs.Args())
+	// Per-flag validation: each bad value names its flag and prints the full
+	// usage, so a typo'd unit (`-window 10` meaning 10ns) fails loudly
+	// instead of silently misbehaving.
+	badFlag := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "rumserve: "+format+"\n", args...)
+		fs.Usage()
 		return 2
+	}
+	if fs.NArg() > 0 {
+		return badFlag("unexpected arguments: %v", fs.Args())
 	}
 	var err error
 	if cfg.mix, err = bench.ParseServeMix(cfg.mixSpec); err != nil {
-		fmt.Fprintf(stderr, "rumserve: -mix: %v\n", err)
-		return 2
+		return badFlag("-mix: %v", err)
 	}
 	if cfg.plan, err = faults.ParsePlan(faultSpec); err != nil {
-		fmt.Fprintf(stderr, "rumserve: -faults: %v\n", err)
-		return 2
+		return badFlag("-faults: %v", err)
 	}
-	if cfg.shards < 1 || cfg.clients < 1 || cfg.batch < 1 || cfg.n < cfg.clients || cfg.scrape <= 0 || cfg.window <= 0 {
-		fmt.Fprintln(stderr, "rumserve: -shards/-clients/-batch must be ≥ 1, -n ≥ -clients, -scrape/-window > 0")
-		return 2
+	switch {
+	case cfg.shards < 1:
+		return badFlag("-shards must be ≥ 1 (got %d)", cfg.shards)
+	case cfg.clients < 1:
+		return badFlag("-clients must be ≥ 1 (got %d)", cfg.clients)
+	case cfg.batch < 1:
+		return badFlag("-batch must be ≥ 1 (got %d)", cfg.batch)
+	case cfg.n < cfg.clients:
+		return badFlag("-n must be ≥ -clients (got n=%d, clients=%d)", cfg.n, cfg.clients)
+	case cfg.rate < 0:
+		return badFlag("-rate must be ≥ 0, 0 meaning unthrottled (got %g)", cfg.rate)
+	case cfg.window <= 0:
+		return badFlag("-window must be a positive duration (got %v)", cfg.window)
+	case cfg.scrape <= 0:
+		return badFlag("-scrape must be a positive duration (got %v)", cfg.scrape)
 	}
 
 	ln, err := net.Listen("tcp", cfg.addr)
@@ -631,6 +745,21 @@ func run(args []string, stdout, stderr io.Writer, testSignal <-chan struct{}) in
 
 	fmt.Fprint(stdout, res.Render())
 	fmt.Fprint(stderr, res.RenderTiming())
+	// The flight recorder outlives Stop; dump the worst offenders so a
+	// Ctrl-C'd run leaves its slowest requests on record.
+	if traces := d.srv.SlowTraces(); len(traces) > 0 {
+		n := len(traces)
+		if n > 5 {
+			n = 5
+		}
+		fmt.Fprintf(stderr, "(slowest %d of %d retained traces)\n", n, len(traces))
+		for _, tr := range traces[:n] {
+			fmt.Fprintf(stderr, "(  %-6s key=%-20d shard=%d total=%-10v queue=%-10v service=%-10v pages=%d faults=%d)\n",
+				tr.Op, tr.Key, tr.Shard, tr.Total.Round(time.Microsecond),
+				tr.Queue.Round(time.Microsecond), tr.Service.Round(time.Microsecond),
+				tr.Pages, tr.Faults)
+		}
+	}
 	if stopErr != nil {
 		fmt.Fprintf(stderr, "rumserve: %v\n", stopErr)
 		return 1

@@ -107,6 +107,14 @@ func TestDaemonEndpoints(t *testing.T) {
 		"rum_outcome_mismatches_total",
 		`rum_fault_events_total{event="fault"}`,
 		`rum_live_pages_total{dir="read"}`,
+		"rum_snapshot_age_seconds", "rum_goroutines",
+		`rum_queue_wait_seconds_bucket{le="+Inf"}`,
+		"rum_queue_wait_seconds_count",
+		`rum_service_seconds_bucket{le="+Inf"}`,
+		"rum_service_seconds_count",
+		`rum_batch_size_bucket{le="+Inf"}`,
+		`rum_mailbox_depth{shard="0"}`, `rum_mailbox_depth{shard="1"}`,
+		"rum_window_queue_p99_seconds", "rum_window_service_p99_seconds",
 	} {
 		if !strings.Contains(body, series) {
 			t.Errorf("/metrics missing %q", series)
@@ -134,6 +142,35 @@ func TestDaemonEndpoints(t *testing.T) {
 	}
 	if doc.Cumulative.Records != doc.Shards[0].Len+doc.Shards[1].Len {
 		t.Fatalf("/debug/rum records inconsistent: %+v", doc)
+	}
+
+	code, body, ctype = get(t, d, "/debug/slow")
+	if code != 200 || ctype != "application/json" {
+		t.Fatalf("/debug/slow = %d %q", code, ctype)
+	}
+	var slow struct {
+		Cap    int `json:"cap"`
+		Traces []struct {
+			Op      string        `json:"op"`
+			Shard   int           `json:"shard"`
+			Queue   time.Duration `json:"queue_ns"`
+			Service time.Duration `json:"service_ns"`
+			Total   time.Duration `json:"total_ns"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(body), &slow); err != nil {
+		t.Fatalf("/debug/slow is not JSON: %v\n%s", err, body)
+	}
+	if slow.Cap != slowTraceCap || len(slow.Traces) == 0 {
+		t.Fatalf("/debug/slow empty under load: cap=%d traces=%d", slow.Cap, len(slow.Traces))
+	}
+	for _, tr := range slow.Traces {
+		if tr.Total != tr.Queue+tr.Service {
+			t.Fatalf("/debug/slow trace breaks decomposition: %+v", tr)
+		}
+		if tr.Op == "" || tr.Shard < 0 || tr.Shard > 1 {
+			t.Fatalf("/debug/slow malformed trace: %+v", tr)
+		}
 	}
 
 	code, body, _ = get(t, d, "/debug/pprof/")
@@ -207,13 +244,28 @@ func TestRunFlagErrors(t *testing.T) {
 		{"bad faults", []string{"-faults", "bogus"}, 2},
 		{"positional args", []string{"extra"}, 2},
 		{"bad shards", []string{"-shards", "0"}, 2},
+		{"negative shards", []string{"-shards", "-3"}, 2},
+		{"bad clients", []string{"-clients", "0"}, 2},
+		{"bad batch", []string{"-batch", "-1"}, 2},
+		{"n below clients", []string{"-n", "1", "-clients", "4"}, 2},
+		{"negative rate", []string{"-rate", "-100"}, 2},
+		{"zero window", []string{"-window", "0s"}, 2},
+		{"negative window", []string{"-window", "-5s"}, 2},
+		{"zero scrape", []string{"-scrape", "0s"}, 2},
+		{"negative scrape", []string{"-scrape", "-1ms"}, 2},
 		{"unknown method", []string{"-method", "no-such-method", "-addr", "127.0.0.1:0"}, 1},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			var out, errb bytes.Buffer
-			if code := run(tc.args, &out, &errb, nil); code != tc.code {
+			code := run(tc.args, &out, &errb, nil)
+			if code != tc.code {
 				t.Fatalf("run(%v) = %d, want %d\nstderr:\n%s", tc.args, code, tc.code, errb.String())
+			}
+			// Every exit-2 rejection explains itself: the offending flag is
+			// named and the usage text follows.
+			if tc.code == 2 && !strings.Contains(errb.String(), "Usage") && !strings.Contains(errb.String(), "-method string") {
+				t.Fatalf("rejection printed no usage:\n%s", errb.String())
 			}
 		})
 	}

@@ -147,8 +147,13 @@ type ServeRow struct {
 	Elapsed    time.Duration
 	Throughput float64 // requests per second over the serving phase
 	P50, P99   time.Duration
-	ShardOps   []uint64
-	ServeMeter rum.Meter // merged per-shard meters (physical side is scheduling-dependent)
+	// Lifecycle decomposition of the serving run (request tracing): how long
+	// ops waited in shard mailboxes versus how long they executed. Zero when
+	// the run was untraced.
+	QueueP50, QueueP99     time.Duration
+	ServiceP50, ServiceP99 time.Duration
+	ShardOps               []uint64
+	ServeMeter             rum.Meter // merged per-shard meters (physical side is scheduling-dependent)
 }
 
 // ServeResult is the rendered serve experiment.
@@ -272,6 +277,9 @@ func runServeServing(cfg Config, scfg ServeConfig, name string, streams []serveS
 		Shards:   scfg.Shards,
 		MaxBatch: scfg.Batch,
 		Build:    func(int) *core.Instrumented { return spec.New() },
+		// Lifecycle tracing is wall-clock-only output (stderr), so unlike the
+		// storage hook it cannot leak scheduling into the stdout contract.
+		Trace: &serve.TraceConfig{},
 	})
 	if err != nil {
 		panic(fmt.Sprintf("serve: %s: %v", name, err))
@@ -349,6 +357,12 @@ func runServeServing(cfg Config, scfg ServeConfig, name string, streams []serveS
 	}
 	row.P50 = latency.QuantileDuration(0.50)
 	row.P99 = latency.QuantileDuration(0.99)
+	if ph := serve.AggregatePhases(reports); ph != nil {
+		row.QueueP50 = ph.Queue.QuantileDuration(0.50)
+		row.QueueP99 = ph.Queue.QuantileDuration(0.99)
+		row.ServiceP50 = ph.Service.QuantileDuration(0.50)
+		row.ServiceP99 = ph.Service.QuantileDuration(0.99)
+	}
 	row.ShardOps = make([]uint64, len(reports))
 	for i, r := range reports {
 		row.ShardOps[i] = r.Ops
@@ -427,6 +441,14 @@ func (r ServeResult) RenderTiming() string {
 			row.Elapsed.Round(time.Millisecond),
 			min, max,
 			fmtBytes(float64(row.ServeMeter.PhysicalRead())), fmtBytes(float64(row.ServeMeter.PhysicalWritten())))
+		if row.QueueP99 != 0 || row.ServiceP99 != 0 {
+			// Per-op decomposition: batch p99 above is a Do round-trip, so
+			// queue p99 (mailbox + in-batch wait) dominating service p99
+			// means the latency lives in queueing, not in the structure.
+			fmt.Fprintf(&b, "(  %-10s   per-op queue p50/p99=%v/%v  service p50/p99=%v/%v)\n",
+				"", row.QueueP50.Round(time.Microsecond), row.QueueP99.Round(time.Microsecond),
+				row.ServiceP50.Round(time.Microsecond), row.ServiceP99.Round(time.Microsecond))
+		}
 	}
 	return b.String()
 }

@@ -117,14 +117,56 @@ func (e *Encoder) Float(name string, ls []Label, v float64) {
 // base labels, in Prometheus cumulative-bucket form ending at le="+Inf".
 // The family preamble (# TYPE name histogram) is the caller's via Family.
 func (e *Encoder) Histo(name string, ls []Label, h *Histogram) {
+	e.HistoScaled(name, ls, h, 1, nil)
+}
+
+// HistoScaled emits h like Histo with every bound and the sum multiplied by
+// scale — the nanosecond-bucket latency histograms render as base-unit
+// seconds (scale 1e-9) without re-binning — and, when exemplars are given,
+// attaches each to its bucket line in OpenMetrics exemplar form:
+//
+//	name_bucket{le="0.001"} 17 # {op="get",key="42",shard="1"} 0.00093
+//
+// The exemplar value is the exemplar's service time in scaled units; its
+// labels carry the op kind, key, shard, and the queue/total decomposition.
+// Exemplars must be sorted by bucket index (PhaseSnapshot order).
+func (e *Encoder) HistoScaled(name string, ls []Label, h *Histogram, scale float64, exemplars []Exemplar) {
 	bounds, cum := h.Buckets()
 	bl := make([]Label, len(ls), len(ls)+1)
 	copy(bl, ls)
-	for i, b := range bounds {
-		e.Uint(name+"_bucket", append(bl, Label{Name: "le", Value: fmtLe(b)}), cum[i])
+	next := 0
+	writeExemplar := func(bucket int) {
+		for next < len(exemplars) && exemplars[next].Bucket < bucket {
+			next++
+		}
+		if next >= len(exemplars) || exemplars[next].Bucket != bucket {
+			return
+		}
+		x := exemplars[next]
+		e.bw.WriteString(" # ")
+		e.writeLabels(L(
+			"op", x.Op,
+			"key", strconv.FormatUint(x.Key, 10),
+			"shard", strconv.Itoa(x.Shard),
+			"queue", fmtLe(float64(x.Queue.Nanoseconds())*scale),
+			"total", fmtLe(float64(x.Total.Nanoseconds())*scale),
+			"pages", strconv.FormatUint(x.Pages, 10),
+		))
+		e.bw.WriteByte(' ')
+		e.bw.WriteString(fmtLe(float64(x.Service.Nanoseconds()) * scale))
 	}
-	e.Uint(name+"_bucket", append(bl, Label{Name: "le", Value: "+Inf"}), cum[len(cum)-1])
-	e.Float(name+"_sum", ls, h.Sum())
+	emitBucket := func(le string, bucket int, v uint64) {
+		e.bw.WriteString(name + "_bucket")
+		e.writeLabels(append(bl, Label{Name: "le", Value: le}))
+		fmt.Fprintf(e.bw, " %d", v)
+		writeExemplar(bucket)
+		e.bw.WriteByte('\n')
+	}
+	for i, b := range bounds {
+		emitBucket(fmtLe(b*scale), i, cum[i])
+	}
+	emitBucket("+Inf", len(bounds), cum[len(cum)-1])
+	e.Float(name+"_sum", ls, h.Sum()*scale)
 	e.Uint(name+"_count", ls, h.Count())
 }
 

@@ -2,8 +2,10 @@ package obs_test
 
 import (
 	"bytes"
+	"fmt"
 	"net/http/httptest"
 	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -12,6 +14,10 @@ import (
 )
 
 var metricName = regexp.MustCompile(`^[a-z_][a-z0-9_]*$`)
+
+// exemplarSuffix matches the payload after " # " on a bucket line: a label
+// set and a float value.
+var exemplarSuffix = regexp.MustCompile(`^\{[a-z_][a-z0-9_]*="(?:[^"\\]|\\.)*"(?:,[a-z_][a-z0-9_]*="(?:[^"\\]|\\.)*")*\} \S+$`)
 
 // lintExposition holds an exposition to the format rules every consumer of
 // the shared encoder relies on: each emitted series belongs to a family
@@ -54,6 +60,18 @@ func lintExposition(t *testing.T, data []byte) int {
 			continue
 		}
 		samples++
+		// OpenMetrics-style exemplar suffix: only bucket lines may carry one,
+		// and it must be a label set followed by a value.
+		if i := strings.Index(line, " # "); i >= 0 {
+			suffix := line[i+len(" # "):]
+			line = line[:i]
+			if !strings.Contains(line, "_bucket") {
+				t.Errorf("line %d: exemplar on non-bucket series %q", ln+1, line)
+			}
+			if !exemplarSuffix.MatchString(suffix) {
+				t.Errorf("line %d: malformed exemplar %q", ln+1, suffix)
+			}
+		}
 		name := line
 		if i := strings.IndexAny(line, "{ "); i >= 0 {
 			name = line[:i]
@@ -140,5 +158,81 @@ func TestRegistryRendersSources(t *testing.T) {
 	}
 	if rec.Body.String() != out {
 		t.Fatal("HTTP scrape differs from Render output")
+	}
+}
+
+// TestEncoderLabelEscaping pins the label-value escaping rules of the text
+// format: backslash, double quote, and newline must come out as \\, \", and
+// \n inside the quoted value. The encoder leans on Go's %q, whose escaping
+// coincides with Prometheus's for exactly these three characters — this test
+// is what keeps that coincidence load-bearing.
+func TestEncoderLabelEscaping(t *testing.T) {
+	cases := []struct {
+		name  string
+		value string
+		want  string
+	}{
+		{"backslash", `a\b`, `esc_total{path="a\\b"} 1`},
+		{"quote", `say "hi"`, `esc_total{path="say \"hi\""} 1`},
+		{"newline", "line1\nline2", `esc_total{path="line1\nline2"} 1`},
+		{"mixed", "q\"\\\n", `esc_total{path="q\"\\\n"} 1`},
+		{"plain", "plain", `esc_total{path="plain"} 1`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			e := obs.NewEncoder(&buf)
+			e.Family("esc_total", "counter", "Escaping probe.")
+			e.Uint("esc_total", obs.L("path", tc.value), 1)
+			if err := e.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			lintExposition(t, buf.Bytes())
+			lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+			if got := lines[len(lines)-1]; got != tc.want {
+				t.Fatalf("escaped sample:\n got %s\nwant %s", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestHistoScaledExemplars checks the scaled-histogram path: nanosecond
+// buckets render as seconds, and an exemplar rides its bucket line in
+// OpenMetrics form with the scaled service time as its value.
+func TestHistoScaledExemplars(t *testing.T) {
+	h := obs.NewLatencyHistogram()
+	h.RecordDuration(3 * time.Microsecond)
+	ex := []obs.Exemplar{{
+		Bucket:  h.BucketIndex(float64(3 * time.Microsecond.Nanoseconds())),
+		Op:      "get", Key: 42, Shard: 1,
+		Queue: time.Microsecond, Service: 3 * time.Microsecond,
+		Total: 4 * time.Microsecond, Pages: 2,
+	}}
+	var buf bytes.Buffer
+	e := obs.NewEncoder(&buf)
+	e.Family("svc_seconds", "histogram", "Service time in seconds.")
+	e.HistoScaled("svc_seconds", nil, h, 1e-9, ex)
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if lintExposition(t, buf.Bytes()) == 0 {
+		t.Fatal("no samples emitted")
+	}
+	// 3µs lands in the 2^12 ns bucket; all values render scaled to seconds.
+	// Expected strings are built with the encoder's own arithmetic
+	// (float64(ns) * scale) so the assertion is not hostage to float
+	// shortest-representation quirks.
+	sec := func(ns int64) string {
+		return strconv.FormatFloat(float64(ns)*1e-9, 'g', -1, 64)
+	}
+	want := fmt.Sprintf(
+		`svc_seconds_bucket{le="%s"} 1 # {op="get",key="42",shard="1",queue="%s",total="%s",pages="2"} %s`,
+		sec(4096), sec(1000), sec(4000), sec(3000))
+	if !strings.Contains(out, want) {
+		t.Fatalf("missing exemplar bucket line %q in:\n%s", want, out)
+	}
+	if !strings.Contains(out, "svc_seconds_sum "+sec(3000)) {
+		t.Fatalf("sum not scaled to seconds:\n%s", out)
 	}
 }

@@ -155,6 +155,21 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return math.Inf(1)
 }
 
+// BucketIndex returns the index of the bucket that counts v: the first
+// bound >= v, or len(bounds) for the implicit +Inf bucket.
+func (h *Histogram) BucketIndex(v float64) int {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
 // Buckets returns the bucket upper bounds and their cumulative counts in
 // Prometheus order: the final implicit +Inf bucket equals Count(). The
 // returned slices are freshly allocated.

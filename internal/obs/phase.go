@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"time"
+
+	"repro/internal/rum"
+	"repro/internal/storage"
+)
+
+// Request lifecycle phases. The serving layer stamps every mailbox message
+// at enqueue and decomposes each executed operation into queue wait (enqueue
+// to execution start) and service time (execution itself); a PhaseRecorder
+// is the per-shard sink for that decomposition. It follows the single-owner
+// contract of everything else beneath a shard: only the shard goroutine
+// records, and other goroutines see the state exclusively through immutable
+// Snapshot clones published over the mailbox (the same happens-before edge
+// every ShardReport rides). A nil recorder is the disabled state — the
+// serving hot path then pays one nil check and allocates nothing.
+
+// Exemplar is the worst recent operation that landed in one service-time
+// bucket: a concrete trace a histogram bucket can be blamed on. Buckets
+// index the power-of-two nanosecond latency layout (NewLatencyHistogram).
+type Exemplar struct {
+	Bucket  int           `json:"bucket"` // service-histogram bucket index
+	Op      string        `json:"op"`
+	Key     uint64        `json:"key"`
+	Shard   int           `json:"shard"`
+	Queue   time.Duration `json:"queue_ns"`
+	Service time.Duration `json:"service_ns"`
+	Total   time.Duration `json:"total_ns"`
+	Pages   uint64        `json:"pages"`
+	At      time.Time     `json:"at"`
+}
+
+// exemplarTTL bounds how long a bucket's exemplar survives without being
+// beaten: past it, any new op in the bucket replaces the stale champion, so
+// exemplars describe recent traffic rather than a startup outlier.
+const exemplarTTL = time.Minute
+
+// PhaseRecorder accumulates one shard's lifecycle decomposition: queue-wait
+// and service-time histograms (power-of-two nanosecond buckets, Clone/Diff
+// compatible with the rolling-window plane), a batch-size histogram (ops
+// per mailbox message), and one exemplar per service bucket.
+//
+// PhaseRecorder also implements storage.Hook. When the shard's builder
+// threads it into the storage stack (methods.Options.Hook, possibly behind
+// a tee), the pages/faults/retries charged between BeginOpWork and OpWork
+// are attributed to the operation in flight; unwired, those counts stay
+// zero and traces carry meter-derived byte counts only.
+type PhaseRecorder struct {
+	queue   *Histogram
+	service *Histogram
+	batch   *Histogram
+	ex      []Exemplar // one slot per service bucket; Total==0 means empty
+
+	// In-flight op device work, fed by StorageEvent.
+	pages, faults, retries uint64
+}
+
+// batchBuckets covers 1 .. 2^15 operations per mailbox message.
+const batchBuckets = 16
+
+// NewPhaseRecorder returns an empty recorder.
+func NewPhaseRecorder() *PhaseRecorder {
+	return &PhaseRecorder{
+		queue:   NewLatencyHistogram(),
+		service: NewLatencyHistogram(),
+		batch:   NewHistogram(PowerOfTwoBounds(batchBuckets)),
+		ex:      make([]Exemplar, latencyBuckets+1),
+	}
+}
+
+// StorageEvent implements storage.Hook: device and fault-path events are
+// charged to the operation currently in flight.
+func (r *PhaseRecorder) StorageEvent(ev storage.Event, _ storage.PageID, _ rum.Class, _ uint64) {
+	switch ev {
+	case storage.EvRead, storage.EvWrite:
+		r.pages++
+	case storage.EvFault, storage.EvTorn:
+		r.faults++
+	case storage.EvRetry:
+		r.retries++
+	}
+}
+
+// BeginOpWork zeroes the device-work counters for the next operation.
+func (r *PhaseRecorder) BeginOpWork() { r.pages, r.faults, r.retries = 0, 0, 0 }
+
+// OpWork returns the device work charged since BeginOpWork.
+func (r *PhaseRecorder) OpWork() (pages, faults, retries uint64) {
+	return r.pages, r.faults, r.retries
+}
+
+// RecordBatch counts one mailbox message carrying n operations.
+func (r *PhaseRecorder) RecordBatch(n int) { r.batch.Record(float64(n)) }
+
+// Observe records one operation's decomposition and refreshes the exemplar
+// of its service bucket. The exemplar is replaced when the new op's total
+// latency is at least the incumbent's, or when the incumbent is older than
+// a minute — "worst recent", not "worst ever".
+func (r *PhaseRecorder) Observe(t SlowTrace) {
+	r.queue.RecordDuration(t.Queue)
+	r.service.RecordDuration(t.Service)
+	b := r.service.BucketIndex(float64(t.Service.Nanoseconds()))
+	cur := &r.ex[b]
+	if cur.Total == 0 || t.Total >= cur.Total || t.At.Sub(cur.At) > exemplarTTL {
+		*cur = Exemplar{
+			Bucket: b, Op: t.Op, Key: t.Key, Shard: t.Shard,
+			Queue: t.Queue, Service: t.Service, Total: t.Total,
+			Pages: t.Pages, At: t.At,
+		}
+	}
+}
+
+// PhaseSnapshot is an immutable copy of a recorder's state, safe to publish
+// across goroutines and to Merge with other shards' snapshots. Histograms
+// are cumulative clones, so two snapshots of the same system Diff into the
+// distribution of the traffic between them — which is how the rolling
+// window derives queue-p99 and service-p99.
+type PhaseSnapshot struct {
+	Queue   *Histogram
+	Service *Histogram
+	Batch   *Histogram
+	// Exemplars holds the occupied service-bucket exemplars, bucket order.
+	Exemplars []Exemplar
+}
+
+// Snapshot clones the recorder's state. Called by the owning shard
+// goroutine only; the clone is immutable afterwards.
+func (r *PhaseRecorder) Snapshot() *PhaseSnapshot {
+	s := &PhaseSnapshot{
+		Queue:   r.queue.Clone(),
+		Service: r.service.Clone(),
+		Batch:   r.batch.Clone(),
+	}
+	for _, e := range r.ex {
+		if e.Total != 0 {
+			s.Exemplars = append(s.Exemplars, e)
+		}
+	}
+	return s
+}
+
+// Merge folds o into s: histograms merge bucket-wise; per bucket the worse
+// (larger-total) exemplar wins. Merging per-shard snapshots taken at one
+// sampling instant yields the server-wide phase state at that instant.
+func (s *PhaseSnapshot) Merge(o *PhaseSnapshot) {
+	if o == nil {
+		return
+	}
+	s.Queue.Merge(o.Queue)
+	s.Service.Merge(o.Service)
+	s.Batch.Merge(o.Batch)
+	byBucket := make(map[int]Exemplar, len(s.Exemplars)+len(o.Exemplars))
+	for _, e := range s.Exemplars {
+		byBucket[e.Bucket] = e
+	}
+	for _, e := range o.Exemplars {
+		if cur, ok := byBucket[e.Bucket]; !ok || e.Total > cur.Total {
+			byBucket[e.Bucket] = e
+		}
+	}
+	s.Exemplars = s.Exemplars[:0]
+	for b := 0; b <= latencyBuckets; b++ {
+		if e, ok := byBucket[b]; ok {
+			s.Exemplars = append(s.Exemplars, e)
+		}
+	}
+}
+
+// Clone returns an independent deep copy.
+func (s *PhaseSnapshot) Clone() *PhaseSnapshot {
+	if s == nil {
+		return nil
+	}
+	return &PhaseSnapshot{
+		Queue:     s.Queue.Clone(),
+		Service:   s.Service.Clone(),
+		Batch:     s.Batch.Clone(),
+		Exemplars: append([]Exemplar(nil), s.Exemplars...),
+	}
+}

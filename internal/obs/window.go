@@ -36,6 +36,10 @@ type WindowPoint struct {
 	At      time.Time
 	Shards  []ShardPoint
 	Latency *Histogram // cumulative; nil when latency is not tracked
+	// Phases is the merged per-shard lifecycle decomposition at this
+	// instant (cumulative queue/service/batch histograms and exemplars);
+	// nil when request tracing is disabled.
+	Phases *PhaseSnapshot
 }
 
 // Totals aggregates the point's shards: summed meter, summed size, total
@@ -144,6 +148,15 @@ type WindowStats struct {
 	P50 time.Duration `json:"p50_ns"`
 	P99 time.Duration `json:"p99_ns"`
 
+	// Lifecycle decomposition of the operations executed inside the window
+	// (zero when request tracing is disabled): how long operations waited
+	// in mailboxes versus how long they executed. A p99 spike with a flat
+	// ServiceP99 is queueing; the converse is the structure itself.
+	QueueP50   time.Duration `json:"queue_p50_ns"`
+	QueueP99   time.Duration `json:"queue_p99_ns"`
+	ServiceP50 time.Duration `json:"service_p50_ns"`
+	ServiceP99 time.Duration `json:"service_p99_ns"`
+
 	// Balance is min/max over the per-shard operation counts of the window:
 	// 1 means perfectly even, 0 means at least one shard sat idle. A single
 	// shard reports 1.
@@ -179,6 +192,16 @@ func StatsBetween(p0, p1 *WindowPoint) WindowStats {
 		if lat.Count() > 0 {
 			st.P50 = lat.QuantileDuration(0.50)
 			st.P99 = lat.QuantileDuration(0.99)
+		}
+	}
+	if p0.Phases != nil && p1.Phases != nil {
+		if q := p1.Phases.Queue.Diff(p0.Phases.Queue); q.Count() > 0 {
+			st.QueueP50 = q.QuantileDuration(0.50)
+			st.QueueP99 = q.QuantileDuration(0.99)
+		}
+		if sv := p1.Phases.Service.Diff(p0.Phases.Service); sv.Count() > 0 {
+			st.ServiceP50 = sv.QuantileDuration(0.50)
+			st.ServiceP99 = sv.QuantileDuration(0.99)
 		}
 	}
 	st.Balance = shardBalance(p0, p1)

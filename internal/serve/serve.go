@@ -35,8 +35,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rum"
 )
 
@@ -100,6 +102,10 @@ type Config struct {
 	// goroutine — never on the caller's — which is what pins the structure,
 	// and the storage stack under it, to a single owner. Required.
 	Build func(shard int) *core.Instrumented
+	// Trace enables request lifecycle tracing (queue/service decomposition,
+	// per-shard phase histograms, the slow-op flight recorder). Nil — the
+	// default — keeps the hot path free of clock reads and allocations.
+	Trace *TraceConfig
 }
 
 func (c *Config) defaults() error {
@@ -145,6 +151,10 @@ type message struct {
 	// kindSnap
 	snap *ShardReport
 
+	// enqueuedAt is the Do call's send instant, stamped only when tracing is
+	// enabled (zero otherwise); queue wait is measured from it.
+	enqueuedAt time.Time
+
 	done *completion
 }
 
@@ -187,6 +197,11 @@ type ShardReport struct {
 	Meter rum.Meter
 	Size  rum.SizeInfo
 	Len   int
+	// Phases is the shard's lifecycle decomposition (queue/service/batch
+	// histograms and exemplars) — nil when tracing is disabled, and nil in
+	// the report of a shard that died mid-run: a dead shard publishes its
+	// error, never partial phase records.
+	Phases *obs.PhaseSnapshot
 	// Err records a shard that died mid-run (a Build or operation panic).
 	// Requests routed to a dead shard complete with zero Results.
 	Err error
@@ -199,6 +214,11 @@ type shard struct {
 	mailbox chan message
 	ops     uint64
 	report  ShardReport
+	// rec is the shard's phase recorder (nil when tracing is disabled),
+	// owned by the shard goroutine like everything else here; slow is the
+	// server-wide flight recorder it offers traces to.
+	rec  *obs.PhaseRecorder
+	slow *obs.SlowLog
 }
 
 // Server is the sharded serving front-end. All exported methods are safe for
@@ -207,6 +227,7 @@ type shard struct {
 type Server struct {
 	cfg    Config
 	shards []*shard
+	slow   *obs.SlowLog // flight recorder; nil when tracing is disabled
 	wg     sync.WaitGroup
 
 	mu      sync.RWMutex // guards stopped against in-flight sends
@@ -221,6 +242,9 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	if tc := cfg.Trace; tc != nil {
+		s.slow = obs.NewSlowLog(tc.slowK(), tc.SlowTTL)
+	}
 	for i := range s.shards {
 		s.shards[i] = &shard{id: i, mailbox: make(chan message, cfg.Queue)}
 	}
@@ -273,6 +297,18 @@ func (s *Server) runShard(sh *shard) {
 			}
 		}
 	}()
+	if tc := s.cfg.Trace; tc != nil {
+		// The recorder is created (or fetched) on the shard goroutine before
+		// Build runs, so a Build closure can pick it up — e.g. to thread it
+		// into the storage stack as a hook — without crossing goroutines.
+		if tc.Recorder != nil {
+			sh.rec = tc.Recorder(sh.id)
+		}
+		if sh.rec == nil {
+			sh.rec = obs.NewPhaseRecorder()
+		}
+		sh.slow = s.slow
+	}
 	am := s.cfg.Build(sh.id)
 	for msg := range sh.mailbox {
 		sh.apply(am, msg)
@@ -285,6 +321,9 @@ func (s *Server) runShard(sh *shard) {
 		Size:  am.Size(),
 		Len:   am.Len(),
 	}
+	if sh.rec != nil {
+		sh.report.Phases = sh.rec.Snapshot()
+	}
 }
 
 // apply executes one message. The completion fires even if an operation
@@ -293,6 +332,10 @@ func (sh *shard) apply(am *core.Instrumented, msg message) {
 	defer msg.done.finish()
 	switch msg.kind {
 	case kindOps:
+		if sh.rec != nil {
+			sh.applyOpsTraced(am, msg)
+			break
+		}
 		for _, i := range msg.idxs {
 			req := &msg.reqs[i]
 			// Assign whole Results: callers reuse res buffers across Do
@@ -330,7 +373,7 @@ func (sh *shard) apply(am *core.Instrumented, msg message) {
 		// the -tags racecheck assertions hold and no lock shadows the hot
 		// path. The write is published to the requester through the
 		// completion's channel-close edge.
-		*msg.snap = ShardReport{
+		rep := ShardReport{
 			Shard: sh.id,
 			Name:  am.Name(),
 			Ops:   sh.ops,
@@ -338,6 +381,10 @@ func (sh *shard) apply(am *core.Instrumented, msg message) {
 			Size:  am.Size(),
 			Len:   am.Len(),
 		}
+		if sh.rec != nil {
+			rep.Phases = sh.rec.Snapshot()
+		}
+		*msg.snap = rep
 	}
 }
 
@@ -382,6 +429,12 @@ func (s *Server) Do(reqs []Request, res []Result) error {
 	}
 	comp := &completion{done: make(chan struct{})}
 	comp.pending.Store(int32(total))
+	// One enqueue stamp per Do call when traced; the zero Time (and zero
+	// clock reads) otherwise.
+	var enq time.Time
+	if s.cfg.Trace != nil {
+		enq = time.Now()
+	}
 
 	s.mu.RLock()
 	if s.stopped {
@@ -396,7 +449,8 @@ func (s *Server) Do(reqs []Request, res []Result) error {
 				n = s.cfg.MaxBatch
 			}
 			s.shards[sh].mailbox <- message{
-				kind: kindOps, reqs: reqs, res: res, idxs: idxs[:n], done: comp,
+				kind: kindOps, reqs: reqs, res: res, idxs: idxs[:n],
+				enqueuedAt: enq, done: comp,
 			}
 			idxs = idxs[n:]
 		}

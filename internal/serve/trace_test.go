@@ -1,0 +1,284 @@
+package serve
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/btree"
+	"repro/internal/core"
+	"repro/internal/methods"
+	"repro/internal/obs"
+)
+
+// tracedWorkload drives a mixed batch workload through s and returns the
+// number of operations submitted.
+func tracedWorkload(t *testing.T, s *Server, ops int) int {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(11, 23))
+	const batch = 64
+	reqs := make([]Request, batch)
+	res := make([]Result, batch)
+	submitted := 0
+	for submitted < ops {
+		for i := range reqs {
+			k := core.Key(rng.Uint64N(2048))
+			switch rng.UintN(4) {
+			case 0:
+				reqs[i] = Request{Op: OpGet, Key: k}
+			case 1:
+				reqs[i] = Request{Op: OpInsert, Key: k, Value: rng.Uint64()}
+			case 2:
+				reqs[i] = Request{Op: OpUpdate, Key: k, Value: rng.Uint64()}
+			case 3:
+				reqs[i] = Request{Op: OpDelete, Key: k}
+			}
+		}
+		if err := s.Do(reqs, res); err != nil {
+			t.Fatalf("Do: %v", err)
+		}
+		submitted += batch
+	}
+	return submitted
+}
+
+// TestTraceDecomposition is the property test of the lifecycle invariant:
+// for every retained trace, Total == Queue + Service exactly — all three
+// durations derive from the same monotonic readings, so the equality is ==,
+// not within-tolerance. It also checks the phase histograms account for
+// every executed operation.
+func TestTraceDecomposition(t *testing.T) {
+	s := mustNew(t, Config{
+		Shards: 4,
+		Build:  buildSkiplist,
+		Trace:  &TraceConfig{SlowK: 32},
+	})
+	ops := tracedWorkload(t, s, 4000)
+
+	traces := s.SlowTraces()
+	if len(traces) != 32 {
+		t.Fatalf("flight recorder holds %d traces, want 32", len(traces))
+	}
+	for _, tr := range traces {
+		if tr.Total != tr.Queue+tr.Service {
+			t.Fatalf("decomposition broken: total %v != queue %v + service %v",
+				tr.Total, tr.Queue, tr.Service)
+		}
+		if tr.Queue < 0 || tr.Service < 0 {
+			t.Fatalf("negative phase: %+v", tr)
+		}
+		if tr.Op == "" || tr.Batch <= 0 || tr.Shard < 0 || tr.Shard >= 4 {
+			t.Fatalf("malformed trace: %+v", tr)
+		}
+	}
+	for i := 1; i < len(traces); i++ {
+		if traces[i].Total > traces[i-1].Total {
+			t.Fatal("SlowTraces not sorted slowest-first")
+		}
+	}
+
+	reports, err := s.Stop()
+	if err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	agg := AggregatePhases(reports)
+	if agg == nil {
+		t.Fatal("traced run produced no phase snapshots")
+	}
+	if got := agg.Queue.Count(); got != uint64(ops) {
+		t.Fatalf("queue histogram counts %d ops, want %d", got, ops)
+	}
+	if got := agg.Service.Count(); got != uint64(ops) {
+		t.Fatalf("service histogram counts %d ops, want %d", got, ops)
+	}
+	// Every mailbox message recorded its batch size, and the sizes sum back
+	// to the op count.
+	if got := uint64(agg.Batch.Sum()); got != uint64(ops) {
+		t.Fatalf("batch histogram sums %d ops, want %d", got, ops)
+	}
+	if len(agg.Exemplars) == 0 {
+		t.Fatal("no exemplars retained")
+	}
+}
+
+// TestTraceDisabledReportsNothing pins the disabled contract: no Phases on
+// any report (the determinism tests DeepEqual ShardReports), no slow traces,
+// and MailboxDepths still works as a plain gauge.
+func TestTraceDisabledReportsNothing(t *testing.T) {
+	s := mustNew(t, Config{Shards: 2, Build: buildSkiplist})
+	tracedWorkload(t, s, 500)
+	if got := s.SlowTraces(); got != nil {
+		t.Fatalf("untraced server returned traces: %v", got)
+	}
+	if d := s.MailboxDepths(); len(d) != 2 {
+		t.Fatalf("MailboxDepths len %d, want 2", len(d))
+	}
+	snaps, err := s.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	for _, r := range snaps {
+		if r.Phases != nil {
+			t.Fatalf("untraced snapshot carries phases: shard %d", r.Shard)
+		}
+	}
+	reports, err := s.Stop()
+	if err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	for _, r := range reports {
+		if r.Phases != nil {
+			t.Fatalf("untraced report carries phases: shard %d", r.Shard)
+		}
+	}
+	if AggregatePhases(reports) != nil {
+		t.Fatal("AggregatePhases of untraced reports is non-nil")
+	}
+}
+
+// TestTraceRecorderWiring checks the Recorder hook contract: it runs on the
+// shard goroutine before Build, so a builder can thread the recorder into
+// its storage stack as a hook and traces then carry per-op page counts.
+func TestTraceRecorderWiring(t *testing.T) {
+	recs := make([]*obs.PhaseRecorder, 2)
+	s := mustNew(t, Config{
+		Shards:   2,
+		MaxBatch: 8,
+		Trace: &TraceConfig{
+			SlowK: 16,
+			Recorder: func(shard int) *obs.PhaseRecorder {
+				recs[shard] = obs.NewPhaseRecorder()
+				return recs[shard]
+			},
+		},
+		Build: func(shard int) *core.Instrumented {
+			// Recorder ran first on this same goroutine, so the slot is set.
+			if recs[shard] == nil {
+				panic("Build ran before Recorder")
+			}
+			return methods.NewBTree(methods.Options{PoolPages: 4, Hook: recs[shard]}, btree.Config{})
+		},
+	})
+	// Preload through the untraced bulk path, then read far more pages than
+	// the 4-page pools hold: every retained trace is a get whose misses were
+	// charged through the hook, so the attribution is visible regardless of
+	// which ops the flight recorder ranks slowest.
+	recs2 := make([]core.Record, 4096)
+	for i := range recs2 {
+		recs2[i] = core.Record{Key: core.Key(i), Value: core.Value(i)}
+	}
+	if err := s.Preload(recs2); err != nil {
+		t.Fatalf("Preload: %v", err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	reqs := make([]Request, 256)
+	res := make([]Result, 256)
+	for round := 0; round < 4; round++ {
+		for i := range reqs {
+			reqs[i] = Request{Op: OpGet, Key: core.Key((i*17 + round) % 4096)}
+		}
+		if err := s.Do(reqs, res); err != nil {
+			t.Fatalf("Do: %v", err)
+		}
+	}
+	pages, bytes := uint64(0), uint64(0)
+	for _, tr := range s.SlowTraces() {
+		if tr.Op != "get" {
+			t.Fatalf("unexpected trace op %q", tr.Op)
+		}
+		pages += tr.Pages
+		bytes += tr.ReadBytes + tr.WriteBytes
+	}
+	if pages == 0 {
+		t.Fatal("hook-wired traces charged no pages")
+	}
+	if bytes == 0 {
+		t.Fatal("traces carried no meter-derived bytes")
+	}
+	if _, err := s.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+}
+
+// TestTraceDeadShardDrain: a shard that panics with tracing enabled still
+// completes every queued message, answers snapshots with its error report
+// and no partial phase records, and leaves the flight recorder serving the
+// surviving shards' traces.
+func TestTraceDeadShardDrain(t *testing.T) {
+	s := mustNew(t, Config{
+		Shards: 4,
+		Build: func(i int) *core.Instrumented {
+			if i == 1 {
+				panic("shard 1 refuses to build")
+			}
+			return buildSkiplist(i)
+		},
+		Trace: &TraceConfig{SlowK: 16},
+	})
+	// Every batch completes even though shard 1 is dead.
+	tracedWorkload(t, s, 2000)
+
+	snaps, err := s.Snapshot()
+	if err == nil {
+		t.Fatal("Snapshot reported no error for a dead shard")
+	}
+	for _, r := range snaps {
+		if r.Shard == 1 {
+			if r.Err == nil {
+				t.Fatal("dead shard snapshot carries no error")
+			}
+			if r.Phases != nil {
+				t.Fatal("dead shard published partial phase records")
+			}
+		} else if r.Err != nil {
+			t.Fatalf("live shard %d reports error: %v", r.Shard, r.Err)
+		} else if r.Phases == nil {
+			t.Fatalf("live shard %d lost its phases", r.Shard)
+		}
+	}
+	// The flight recorder is not wedged: it holds traces, none from shard 1.
+	traces := s.SlowTraces()
+	if len(traces) == 0 {
+		t.Fatal("flight recorder empty after load on live shards")
+	}
+	for _, tr := range traces {
+		if tr.Shard == 1 {
+			t.Fatalf("dead shard produced a trace: %+v", tr)
+		}
+	}
+	if _, err := s.Stop(); err == nil {
+		t.Fatal("Stop reported no error for a panicked shard")
+	}
+}
+
+// benchDo measures the Do round-trip for one configuration.
+func benchDo(b *testing.B, trace *TraceConfig) {
+	s, err := New(Config{Shards: 4, Build: buildSkiplist, Trace: trace})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Stop()
+	const batch = 256
+	reqs := make([]Request, batch)
+	res := make([]Result, batch)
+	for i := range reqs {
+		reqs[i] = Request{Op: OpInsert, Key: core.Key(i), Value: 1}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range reqs {
+			reqs[j].Op = OpGet
+		}
+		if err := s.Do(reqs, res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDo is the quiet-path baseline; BenchmarkDoTraced is the same
+// workload with tracing on. Comparing allocs/op pins the zero-allocation
+// claim for the disabled path and bounds the traced path's overhead.
+func BenchmarkDo(b *testing.B)       { benchDo(b, nil) }
+func BenchmarkDoTraced(b *testing.B) { benchDo(b, &TraceConfig{SlowK: 32}) }

@@ -36,18 +36,31 @@ done
 sleep 1
 curl -fsS "http://$ADDR/metrics" >"$TMP/metrics"
 curl -fsS "http://$ADDR/debug/rum" >"$TMP/debug"
+curl -fsS "http://$ADDR/debug/slow" >"$TMP/slow"
 
 for series in rum_ro rum_uo rum_mo rum_ro_window rum_uo_window rum_mo_window \
   rum_requests_total rum_window_ops_per_sec rum_shard_balance \
   rum_request_latency_ns_bucket rum_request_latency_ns_sum \
   rum_request_latency_ns_count rum_fault_events_total \
-  rum_outcome_mismatches_total rum_shard_ops_total; do
+  rum_outcome_mismatches_total rum_shard_ops_total \
+  rum_queue_wait_seconds_bucket rum_queue_wait_seconds_sum \
+  rum_queue_wait_seconds_count rum_service_seconds_bucket \
+  rum_service_seconds_sum rum_service_seconds_count \
+  rum_batch_size_bucket rum_mailbox_depth \
+  rum_window_queue_p99_seconds rum_window_service_p99_seconds \
+  rum_uptime_seconds rum_snapshot_age_seconds rum_goroutines; do
   grep -q "^$series" "$TMP/metrics" || {
     echo "missing series $series in /metrics:"; cat "$TMP/metrics"; exit 1; }
 done
 grep -q 'le="+Inf"' "$TMP/metrics" || { echo "latency histogram lacks +Inf bucket"; exit 1; }
+# The phase histograms must have seen real traffic, not just exist.
+awk '/^rum_service_seconds_count/ { if ($2+0 > 0) found=1 } END { exit !found }' "$TMP/metrics" || {
+  echo "rum_service_seconds_count is zero under load:"; grep rum_service "$TMP/metrics"; exit 1; }
 grep -q '"shards": \[' "$TMP/debug" || { echo "/debug/rum has no shards:"; cat "$TMP/debug"; exit 1; }
 grep -q '"window"' "$TMP/debug" || { echo "/debug/rum has no rolling window:"; cat "$TMP/debug"; exit 1; }
+# The flight recorder holds traces under load, and each trace decomposes.
+grep -q '"total_ns"' "$TMP/slow" || { echo "/debug/slow has no traces:"; cat "$TMP/slow"; exit 1; }
+grep -q '"queue_ns"' "$TMP/slow" || { echo "/debug/slow traces lack decomposition:"; cat "$TMP/slow"; exit 1; }
 
 kill -INT "$PID"
 for _ in $(seq 1 100); do
