@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race racecheck bench golden chaos-smoke serve-smoke serve-live-smoke
+.PHONY: check build vet test race racecheck bench golden chaos-smoke serve-smoke serve-live-smoke mvcc-smoke mvcc-race
 
 ## check: the full gate — build, vet, race-enabled tests, and the
 ## single-owner assertion build.
@@ -57,6 +57,23 @@ serve-smoke:
 	$(GO) run ./cmd/rumbench -exp serve -quick -n 2048 -ops 1000 \
 		-shards 8 -batch 64 -parallel 8 >/tmp/serve-par.txt
 	diff /tmp/serve-seq.txt /tmp/serve-par.txt
+
+## mvcc-smoke: the snapshot-read determinism gate — the mvcc experiment's
+## stdout (clean replay RUM point, retained bytes, outcome verification)
+## must be byte-identical no matter how the live runs are sharded, batched,
+## or pooled; throughput and speedup live on stderr only.
+mvcc-smoke:
+	$(GO) run ./cmd/rumbench -exp mvcc -quick -n 2048 -ops 1000 \
+		-shards 1 -batch 32 -parallel 1 >/tmp/mvcc-seq.txt
+	$(GO) run ./cmd/rumbench -exp mvcc -quick -n 2048 -ops 1000 \
+		-shards 8 -batch 64 -parallel 8 >/tmp/mvcc-par.txt
+	diff /tmp/mvcc-seq.txt /tmp/mvcc-par.txt
+
+## mvcc-race: the single-writer/many-reader packages under the race
+## detector alone — quicker signal than the full `race` target when
+## iterating on the snapshot path.
+mvcc-race:
+	$(GO) test -race ./internal/serve ./internal/btree ./internal/lsm
 
 ## serve-live-smoke: the live telemetry plane end to end — start rumserve
 ## on an ephemeral port, scrape /healthz, /metrics and /debug/rum, assert

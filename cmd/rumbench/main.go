@@ -11,12 +11,21 @@
 //	rumbench -exp table1 -trace out.jsonl -timeseries ts.csv -metrics metrics.txt
 //	rumbench -exp chaos -faults seed=7,p_read=0.02,p_write=0.02,p_torn=0.5
 //	rumbench -exp serve -shards 8 -clients 16 -batch 128
+//	rumbench -exp mvcc -staleness 1,256 -mix read50,read99
 //
 // The serve experiment puts the access methods behind the sharded serving
 // layer (internal/serve): conflict-free concurrent client streams, per-shard
 // single-owner structures, merged RUM accounting. Its stdout (clean RUM
 // point, outcome verification) is byte-identical at any -shards/-clients/
 // -batch/-parallel setting; throughput and latency print to stderr.
+//
+// The mvcc experiment turns on the serving layer's snapshot read path
+// (single-writer/many-reader shards, lock-free concurrent readers) and
+// sweeps snapshot lifetime (-staleness, writes between publishes) against
+// read/write mix (-mix, preset names like read99). Its stdout carries the
+// deterministic replay's RUM point and retained-version footprint; read
+// throughput, p99, and speedup over the single-owner baseline go to
+// stderr.
 //
 // The chaos experiment re-runs the page-backed Table-1 methods on a degraded
 // device (internal/faults): transient/permanent read and write faults, torn
@@ -42,6 +51,7 @@ import (
 	"io"
 	"os"
 	"runtime/debug"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -52,7 +62,7 @@ import (
 )
 
 // knownExps lists every experiment name, in run order.
-var knownExps = []string{"props", "table1", "fig1", "fig2", "fig3", "conjecture", "adaptive", "extensions", "chaos", "serve"}
+var knownExps = []string{"props", "table1", "fig1", "fig2", "fig3", "conjecture", "adaptive", "extensions", "chaos", "serve", "mvcc"}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -82,6 +92,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		shards     = fs.Int("shards", 4, "serve experiment: keyspace shard count")
 		clients    = fs.Int("clients", 8, "serve experiment: concurrent client goroutines")
 		batch      = fs.Int("batch", 64, "serve experiment: requests per client batch")
+		mixSpec    = fs.String("mix", "", "mvcc experiment: comma-separated mix presets (empty = read50,read99)")
+		staleSpec  = fs.String("staleness", "", "mvcc experiment: comma-separated publish cadences in writes between snapshot publishes (empty = 1,256)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -92,6 +104,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	plan, err := faults.ParsePlan(*faultSpec)
 	if err != nil {
 		fmt.Fprintf(stderr, "rumbench: -faults: %v\n", err)
+		return 2
+	}
+	mvccMixes, err := splitMixes(*mixSpec)
+	if err != nil {
+		fmt.Fprintf(stderr, "rumbench: -mix: %v\n", err)
+		return 2
+	}
+	mvccStaleness, err := splitStaleness(*staleSpec)
+	if err != nil {
+		fmt.Fprintf(stderr, "rumbench: -staleness: %v\n", err)
 		return 2
 	}
 	if fs.NArg() > 0 {
@@ -199,6 +221,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 				c.Ops = 8000
 			}
 			r := bench.RunServe(c, bench.ServeConfig{Shards: *shards, Clients: *clients, Batch: *batch})
+			return r.Render(), r.RenderTiming()
+		},
+		"mvcc": func(c bench.Config) (string, string) {
+			if c.N == 0 {
+				c.N = 16384
+			}
+			if c.Ops == 0 {
+				c.Ops = 8000
+			}
+			r := bench.RunMVCC(c, bench.MVCCConfig{
+				Shards: *shards, Clients: *clients, Batch: *batch,
+				Mixes: mvccMixes, Stalenesses: mvccStaleness,
+			})
 			return r.Render(), r.RenderTiming()
 		},
 	}
@@ -329,4 +364,53 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// splitMixes parses the -mix flag: comma-separated ServeMix preset names,
+// validated against the bench package's preset table. Empty selects the
+// mvcc experiment's default sweep.
+func splitMixes(s string) ([]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	valid := map[string]bool{}
+	for _, p := range bench.ServeMixPresets() {
+		valid[p] = true
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if !valid[part] {
+			return nil, fmt.Errorf("unknown preset %q (want %s)", part, strings.Join(bench.ServeMixPresets(), "/"))
+		}
+		out = append(out, part)
+	}
+	return out, nil
+}
+
+// splitStaleness parses the -staleness flag: comma-separated positive write
+// counts between snapshot publishes. Empty selects the default sweep.
+func splitStaleness(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("%q: %v", part, err)
+		}
+		if k <= 0 {
+			return nil, fmt.Errorf("%d: staleness must be positive", k)
+		}
+		out = append(out, k)
+	}
+	return out, nil
 }

@@ -32,7 +32,13 @@
 //
 //	rumserve -method lsm-level -shards 8 -rate 50000 -addr :9090
 //	rumserve -method btree -mix get=0.8,insert=0.1,update=0.05,delete=0.05
+//	rumserve -method btree -mvcc -mix read99
 //	rumserve -faults seed=7,p_read=0.001 -window 30s -scrape 500ms
+//
+// With -mvcc, pure-read batches are served lock-free from published MVCC
+// snapshots on the client goroutines (DESIGN.md §9); /metrics gains
+// rum_snapshot_versions{shard}, rum_reader_concurrency, and
+// rum_snapshot_reads_total, and -staleness sets the publish cadence.
 package main
 
 import (
@@ -82,13 +88,18 @@ type config struct {
 	addr    string
 	window  time.Duration
 	scrape  time.Duration
+	// mvcc turns on the serving layer's snapshot read path: pure-read
+	// batches bypass the mailbox onto the client goroutine. staleness is
+	// serve.Config.StalenessOps (writes between snapshot publishes).
+	mvcc      bool
+	staleness int
 }
 
 // atomicHook counts storage events across all shard goroutines — the
 // concurrency-safe subset of what a full obs.Observer attributes. It feeds
 // the live rum_live_pages_total and rum_fault_events_total series.
 type atomicHook struct {
-	reads, writes                 atomic.Uint64
+	reads, writes                  atomic.Uint64
 	faults, torn, crashes, retries atomic.Uint64
 }
 
@@ -182,6 +193,10 @@ type daemon struct {
 // retained for /debug/slow and the shutdown report.
 const slowTraceCap = 64
 
+// mvccRetention is the per-shard version window under -mvcc: how many
+// published snapshots each structure keeps readable before reclamation.
+const mvccRetention = 3
+
 // newDaemon builds the serving stack, preloads it, and starts the client
 // drivers and the snapshot sampler.
 func newDaemon(cfg config) (*daemon, error) {
@@ -194,13 +209,18 @@ func newDaemon(cfg config) (*daemon, error) {
 		start:  time.Now(),
 	}
 	opt := methods.Options{PoolPages: cfg.pool, Hook: d.hook}
+	if cfg.mvcc {
+		opt.Versions = mvccRetention
+	}
 	if _, err := methods.Lookup(opt, cfg.method); err != nil {
 		return nil, err
 	}
 	d.recs = make([]*obs.PhaseRecorder, cfg.shards)
 	srv, err := serve.New(serve.Config{
-		Shards:   cfg.shards,
-		MaxBatch: cfg.batch,
+		Shards:       cfg.shards,
+		MaxBatch:     cfg.batch,
+		Snapshots:    cfg.mvcc,
+		StalenessOps: cfg.staleness,
 		Trace: &serve.TraceConfig{
 			SlowK:   slowTraceCap,
 			SlowTTL: time.Minute,
@@ -356,6 +376,7 @@ func (d *daemon) sampleOnce() {
 	for _, r := range reports {
 		p.Shards = append(p.Shards, obs.ShardPoint{
 			Shard: r.Shard, Ops: r.Ops, Meter: r.Meter, Size: r.Size, Len: r.Len,
+			SnapVersions: r.SnapVersions,
 		})
 	}
 	d.ring.Push(p)
@@ -440,6 +461,18 @@ func (d *daemon) collectMetrics(e *obs.Encoder) {
 			e.Uint("rum_shard_ops_total", obs.L("shard", fmt.Sprintf("%d", s.Shard)), s.Ops)
 		}
 	}
+
+	e.Family("rum_snapshot_versions", "gauge", "Retained MVCC snapshot versions per shard (0 when snapshot serving is off).")
+	if last != nil {
+		for _, s := range last.Shards {
+			e.Uint("rum_snapshot_versions", obs.L("shard", fmt.Sprintf("%d", s.Shard)), uint64(s.SnapVersions))
+		}
+	}
+	active, snapReads := d.srv.ReaderStats()
+	e.Family("rum_reader_concurrency", "gauge", "Snapshot bypass readers executing right now on client goroutines.")
+	e.Uint("rum_reader_concurrency", nil, uint64(active))
+	e.Family("rum_snapshot_reads_total", "counter", "Requests served from MVCC snapshots, bypassing the shard mailbox.")
+	e.Uint("rum_snapshot_reads_total", nil, snapReads)
 
 	e.Family("rum_request_latency_ns", "histogram", "Per-batch request latency in nanoseconds (power-of-two buckets).")
 	e.Histo("rum_request_latency_ns", nil, lat)
@@ -665,6 +698,8 @@ func run(args []string, stdout, stderr io.Writer, testSignal <-chan struct{}) in
 	fs.StringVar(&cfg.addr, "addr", "127.0.0.1:8080", "HTTP listen address (use :0 for an ephemeral port)")
 	fs.DurationVar(&cfg.window, "window", 10*time.Second, "rolling window for the _window gauges")
 	fs.DurationVar(&cfg.scrape, "scrape", time.Second, "interval between shard snapshots")
+	fs.BoolVar(&cfg.mvcc, "mvcc", false, "serve pure-read batches from MVCC snapshots, bypassing the shard mailbox (btree and lsm methods)")
+	fs.IntVar(&cfg.staleness, "staleness", 1, "with -mvcc: writes between snapshot publishes (1 = read-your-writes)")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -704,6 +739,8 @@ func run(args []string, stdout, stderr io.Writer, testSignal <-chan struct{}) in
 		return badFlag("-window must be a positive duration (got %v)", cfg.window)
 	case cfg.scrape <= 0:
 		return badFlag("-scrape must be a positive duration (got %v)", cfg.scrape)
+	case cfg.staleness < 1:
+		return badFlag("-staleness must be ≥ 1 (got %d)", cfg.staleness)
 	}
 
 	ln, err := net.Listen("tcp", cfg.addr)
@@ -720,6 +757,10 @@ func run(args []string, stdout, stderr io.Writer, testSignal <-chan struct{}) in
 	fmt.Fprintf(stderr, "rumserve: listening on %s\n", ln.Addr())
 	fmt.Fprintf(stderr, "rumserve: serving %s across %d shards, %d clients, mix %s\n",
 		cfg.method, cfg.shards, cfg.clients, cfg.mix)
+	if cfg.mvcc {
+		fmt.Fprintf(stderr, "rumserve: mvcc snapshot reads on (staleness %d writes, retention %d versions)\n",
+			cfg.staleness, mvccRetention)
+	}
 
 	httpSrv := &http.Server{Handler: d.handler()}
 	httpDone := make(chan error, 1)

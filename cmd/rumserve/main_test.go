@@ -241,6 +241,8 @@ func TestRunFlagErrors(t *testing.T) {
 	}{
 		{"bad flag", []string{"-nonsense"}, 2},
 		{"bad mix", []string{"-mix", "get=2"}, 2},
+		{"unknown mix preset", []string{"-mix", "read42"}, 2},
+		{"bad staleness", []string{"-staleness", "0"}, 2},
 		{"bad faults", []string{"-faults", "bogus"}, 2},
 		{"positional args", []string{"extra"}, 2},
 		{"bad shards", []string{"-shards", "0"}, 2},
@@ -268,5 +270,51 @@ func TestRunFlagErrors(t *testing.T) {
 				t.Fatalf("rejection printed no usage:\n%s", errb.String())
 			}
 		})
+	}
+}
+
+// TestDaemonMVCC drives the daemon with snapshot reads on: the new metric
+// series must appear, snapshot reads must actually flow, and the final
+// report must still verify every outcome.
+func TestDaemonMVCC(t *testing.T) {
+	cfg := testConfig()
+	cfg.method = "btree"
+	cfg.mvcc = true
+	cfg.staleness = 1
+	mix, err := bench.ParseServeMix("read99")
+	if err != nil {
+		t.Fatalf("ParseServeMix: %v", err)
+	}
+	cfg.mix = mix
+	d, err := newDaemon(cfg)
+	if err != nil {
+		t.Fatalf("newDaemon: %v", err)
+	}
+	waitFor(t, "snapshot-served reads", func() bool {
+		_, ops := d.srv.ReaderStats()
+		return ops > 0 && d.ring.Last() != nil
+	})
+
+	_, body, _ := get(t, d, "/metrics")
+	for _, series := range []string{
+		`rum_snapshot_versions{shard="0"}`, `rum_snapshot_versions{shard="1"}`,
+		"rum_reader_concurrency", "rum_snapshot_reads_total",
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("/metrics missing %q", series)
+		}
+	}
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "rum_snapshot_reads_total ") && strings.TrimSpace(line) == "rum_snapshot_reads_total 0" {
+			t.Errorf("rum_snapshot_reads_total stayed zero under a read-heavy mix")
+		}
+	}
+
+	res, err := d.stop()
+	if err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	if row := res.Rows[0]; !row.Verified {
+		t.Fatalf("mvcc live run not verified: %+v", row)
 	}
 }

@@ -58,15 +58,47 @@ func (m ServeMix) Validate() error {
 	return nil
 }
 
+// serveMixPresets are the named mixes ParseServeMix accepts in place of (or
+// before) key=value pairs. The read-heavy ones are the MVCC experiment's
+// operating points: snapshot reads only pay off when reads dominate.
+var serveMixPresets = map[string]ServeMix{
+	"read50":  {Get: 0.50, Insert: 0.20, Update: 0.15, Delete: 0.15, GetMiss: serveGetMiss},
+	"read90":  {Get: 0.90, Insert: 0.04, Update: 0.03, Delete: 0.03, GetMiss: serveGetMiss},
+	"read99":  {Get: 0.99, Insert: 0.004, Update: 0.003, Delete: 0.003, GetMiss: serveGetMiss},
+	"read100": {Get: 1, GetMiss: serveGetMiss},
+}
+
+// ServeMixPresets lists the named mixes in sorted order, for usage text.
+func ServeMixPresets() []string {
+	names := make([]string, 0, len(serveMixPresets))
+	for n := range serveMixPresets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // ParseServeMix parses "get=0.5,insert=0.2,update=0.15,delete=0.15" (any
 // subset; omitted ops default to the standard mix, getmiss included) and
-// validates the result.
+// validates the result. A preset name — "read99" and friends, see
+// ServeMixPresets — may stand alone or lead the list, with key=value pairs
+// after it overriding preset fields: "read99,getmiss=0.2".
 func ParseServeMix(s string) (ServeMix, error) {
 	m := DefaultServeMix()
 	if strings.TrimSpace(s) == "" {
 		return m, nil
 	}
-	for _, part := range strings.Split(s, ",") {
+	parts := strings.Split(s, ",")
+	if first := strings.TrimSpace(parts[0]); !strings.Contains(first, "=") && first != "" {
+		p, ok := serveMixPresets[first]
+		if !ok {
+			return m, fmt.Errorf("mix: unknown preset %q (want %s, or key=value pairs)",
+				first, strings.Join(ServeMixPresets(), "/"))
+		}
+		m = p
+		parts = parts[1:]
+	}
+	for _, part := range parts {
 		part = strings.TrimSpace(part)
 		if part == "" {
 			continue

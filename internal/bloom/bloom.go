@@ -108,6 +108,24 @@ func (f *Filter) MayContain(key uint64) bool {
 	return true
 }
 
+// MayContainMetered is MayContain charging probe traffic to m instead of
+// the filter's own meter. Once the filter is fully built it reads only
+// immutable state, so concurrent snapshot readers — which must not touch
+// the structure's shared accounting — may call it from any goroutine, each
+// with its own meter.
+func (f *Filter) MayContainMetered(key uint64, m *rum.Meter) bool {
+	h, step := probes(key)
+	for i := 0; i < f.k; i++ {
+		pos := h % f.m
+		m.CountRead(rum.Aux, wordBytes)
+		if f.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+		h += step
+	}
+	return true
+}
+
 // K returns the probe count.
 func (f *Filter) K() int { return f.k }
 

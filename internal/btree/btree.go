@@ -29,6 +29,12 @@ type Config struct {
 	// pack pages full; lower values leave split slack, trading space for
 	// fewer early splits).
 	BulkFill float64
+	// Versions enables MVCC snapshot reads when > 0: mutations copy-on-write
+	// pages shared with published versions, Publish stamps an immutable
+	// epoch-numbered root, and up to Versions published versions are
+	// retained for concurrent readers (see mvcc.go). 0 keeps the classic
+	// single-owner tree with in-place mutation and eager page reuse.
+	Versions int
 }
 
 // Stats counts structural events.
@@ -37,6 +43,9 @@ type Stats struct {
 	InternalSplits uint64
 	LeafPages      uint64
 	InternalPages  uint64
+	// CowCopies counts pages copied by the MVCC copy-on-write discipline —
+	// the physical update-overhead tax of snapshot isolation.
+	CowCopies uint64
 }
 
 // Tree is a B+-tree. Leaves store full records (a clustered primary
@@ -52,6 +61,13 @@ type Tree struct {
 
 	leafCap int // effective leaf capacity
 	intCap  int // effective internal capacity
+
+	// MVCC state (unused when cfg.Versions == 0; see mvcc.go).
+	epoch      uint64                    // current write epoch, starts at 1
+	allocEpoch map[storage.PageID]uint64 // epoch each live page was allocated in
+	versions   []*version                // retained published versions, oldest first
+	pinned     []*version                // out-of-window versions still referenced
+	retired    []retiredPage             // superseded pages awaiting reclamation
 }
 
 // New creates an empty tree on pool. The pool's device meter receives all
@@ -61,7 +77,11 @@ func New(pool *storage.BufferPool, cfg Config) (*Tree, error) {
 	if err := t.applyConfig(); err != nil {
 		return nil, err
 	}
-	f, err := pool.NewPage(rum.Base)
+	if t.mvccOn() {
+		t.epoch = 1
+		t.allocEpoch = make(map[storage.PageID]uint64)
+	}
+	f, err := t.newPage(rum.Base)
 	if err != nil {
 		return nil, err
 	}
@@ -93,6 +113,9 @@ func (t *Tree) applyConfig() error {
 	if t.cfg.BulkFill < 0 || t.cfg.BulkFill > 1 {
 		return fmt.Errorf("btree: bulk fill %v out of range", t.cfg.BulkFill)
 	}
+	if t.cfg.Versions < 0 {
+		return fmt.Errorf("btree: versions %d out of range", t.cfg.Versions)
+	}
 	return nil
 }
 
@@ -116,14 +139,17 @@ func (t *Tree) Pool() *storage.BufferPool { return t.pool }
 func (t *Tree) Meter() *rum.Meter { return t.pool.Device().Meter() }
 
 // Size reports the records as base bytes and everything else the tree's
-// pages occupy (internal nodes, slack) as auxiliary bytes.
+// pages occupy (internal nodes, slack) as auxiliary bytes. Under MVCC,
+// retired pages pinned by the retention window count as auxiliary bytes too:
+// they are the memory-overhead tax paid for snapshot isolation.
 func (t *Tree) Size() rum.SizeInfo {
 	pageBytes := (t.stats.LeafPages + t.stats.InternalPages) * uint64(t.pool.Device().PageSize())
 	base := uint64(t.count) * core.RecordSize
 	if base > pageBytes {
 		base = pageBytes
 	}
-	return rum.SizeInfo{BaseBytes: base, AuxBytes: pageBytes - base}
+	retained := uint64(len(t.retired)) * uint64(t.pool.Device().PageSize())
+	return rum.SizeInfo{BaseBytes: base, AuxBytes: pageBytes - base + retained}
 }
 
 // Flush writes all buffered dirty pages to the device.
@@ -170,13 +196,14 @@ type splitResult struct {
 
 // Insert adds a record, splitting nodes as needed.
 func (t *Tree) Insert(k core.Key, v core.Value) error {
-	res, err := t.insert(t.root, k, v)
+	nroot, res, err := t.insert(t.root, k, v)
 	if err != nil {
 		return err
 	}
+	t.root = nroot
 	if res.split {
 		// Grow a new root.
-		f, err := t.pool.NewPage(rum.Aux)
+		f, err := t.newPage(rum.Aux)
 		if err != nil {
 			return err
 		}
@@ -195,10 +222,14 @@ func (t *Tree) Insert(k core.Key, v core.Value) error {
 	return nil
 }
 
-func (t *Tree) insert(pid storage.PageID, k core.Key, v core.Value) (splitResult, error) {
+// insert adds (k, v) to the subtree rooted at pid. It returns the subtree's
+// possibly-new root page: under MVCC, mutating a page shared with a
+// published version copies it (writable), so the caller must re-point its
+// child entry when the returned id differs from pid.
+func (t *Tree) insert(pid storage.PageID, k core.Key, v core.Value) (storage.PageID, splitResult, error) {
 	f, err := t.pool.Fetch(pid)
 	if err != nil {
-		return splitResult{}, err
+		return pid, splitResult{}, err
 	}
 	n := node{f.Data()}
 
@@ -206,43 +237,73 @@ func (t *Tree) insert(pid storage.PageID, k core.Key, v core.Value) (splitResult
 		i := n.leafSearch(k)
 		if i < n.count() && n.leafKey(i) == k {
 			t.pool.Release(f)
-			return splitResult{}, core.ErrKeyExists
+			return pid, splitResult{}, core.ErrKeyExists
 		}
+		if f, err = t.writable(f); err != nil {
+			return pid, splitResult{}, err
+		}
+		n = node{f.Data()}
+		npid := f.ID()
 		if n.count() < t.leafCap {
 			n.leafInsertAt(i, k, v)
 			f.MarkDirty()
 			t.pool.Release(f)
-			return splitResult{}, nil
+			return npid, splitResult{}, nil
 		}
 		res, err := t.splitLeaf(f, i, k, v)
 		t.pool.Release(f)
-		return res, err
+		return npid, res, err
 	}
 
 	child := n.route(k)
 	t.pool.Release(f)
 
-	res, err := t.insert(child, k, v)
-	if err != nil || !res.split {
-		return splitResult{}, err
+	nchild, res, err := t.insert(child, k, v)
+	if err != nil {
+		return pid, splitResult{}, err
+	}
+	if nchild == child && !res.split {
+		return pid, splitResult{}, nil
 	}
 
-	// Re-fetch the parent to register the new separator.
+	// Re-fetch the parent to register the moved child and/or new separator.
 	f, err = t.pool.Fetch(pid)
 	if err != nil {
-		return splitResult{}, err
+		return pid, splitResult{}, err
 	}
+	if f, err = t.writable(f); err != nil {
+		return pid, splitResult{}, err
+	}
+	npid := f.ID()
 	n = node{f.Data()}
+	if nchild != child {
+		t.replaceChild(n, k, nchild)
+		f.MarkDirty()
+	}
+	if !res.split {
+		t.pool.Release(f)
+		return npid, splitResult{}, nil
+	}
 	i := n.intSearch(res.sep)
 	if n.count() < t.intCap {
 		n.intInsertAt(i, res.sep, res.right)
 		f.MarkDirty()
 		t.pool.Release(f)
-		return splitResult{}, nil
+		return npid, splitResult{}, nil
 	}
 	up, err := t.splitInternal(f, i, res.sep, res.right)
 	t.pool.Release(f)
-	return up, err
+	return npid, up, err
+}
+
+// replaceChild rewrites the child pointer that routes k to point at nchild.
+func (t *Tree) replaceChild(n node, k core.Key, nchild storage.PageID) {
+	i := n.intSearch(k)
+	if i == 0 {
+		n.setLink(nchild)
+		return
+	}
+	n.setIntEntry(i-1, n.intKey(i-1), nchild)
 }
 
 // splitLeaf splits the full leaf in f, inserting (k, v) at logical position i
@@ -252,7 +313,7 @@ func (t *Tree) splitLeaf(f *storage.Frame, i int, k core.Key, v core.Value) (spl
 	c := left.count()
 	mid := (c + 1) / 2
 
-	rf, err := t.pool.NewPage(rum.Base)
+	rf, err := t.newPage(rum.Base)
 	if err != nil {
 		return splitResult{}, err
 	}
@@ -307,7 +368,7 @@ func (t *Tree) splitInternal(f *storage.Frame, i int, sep core.Key, child storag
 	mid := len(entries) / 2
 	promoted := entries[mid]
 
-	rf, err := t.pool.NewPage(rum.Aux)
+	rf, err := t.newPage(rum.Aux)
 	if err != nil {
 		return splitResult{}, err
 	}
@@ -333,8 +394,10 @@ func (t *Tree) splitInternal(f *storage.Frame, i int, sep core.Key, child storag
 }
 
 // Update overwrites the value stored under k, reporting whether it existed.
+// Under MVCC the descent copies-on-write every node on the path (the
+// path-copying cost of mutating next to published versions).
 func (t *Tree) Update(k core.Key, v core.Value) bool {
-	f, err := t.descendToLeaf(k)
+	f, err := t.descendToLeafW(k)
 	if err != nil {
 		return false
 	}
@@ -351,9 +414,9 @@ func (t *Tree) Update(k core.Key, v core.Value) bool {
 
 // Delete removes k. Deletion is lazy (no rebalancing): the entry is removed
 // from its leaf and underfull pages are tolerated, the common practice in
-// production B-trees.
+// production B-trees. Under MVCC the descent copies-on-write the path.
 func (t *Tree) Delete(k core.Key) bool {
-	f, err := t.descendToLeaf(k)
+	f, err := t.descendToLeafW(k)
 	if err != nil {
 		return false
 	}
@@ -370,8 +433,15 @@ func (t *Tree) Delete(k core.Key) bool {
 }
 
 // RangeScan emits records with lo <= key <= hi in key order, walking the
-// leaf chain: the Table-1 O(log_B N + m/B) range cost.
+// leaf chain: the Table-1 O(log_B N + m/B) range cost. Under MVCC the leaf
+// chain is not maintained (copying a leaf would cascade through every left
+// sibling's next-pointer), so the scan descends through internal nodes
+// instead — the slightly higher O((m/B)·log_B N) read tax of path copying.
 func (t *Tree) RangeScan(lo, hi core.Key, emit func(core.Key, core.Value) bool) int {
+	if t.mvccOn() {
+		n, _ := t.scanSubtree(t.root, lo, hi, emit)
+		return n
+	}
 	f, err := t.descendToLeaf(lo)
 	if err != nil {
 		return 0
@@ -441,7 +511,7 @@ func (t *Tree) BulkLoad(recs []core.Record) error {
 		if end > len(recs) {
 			end = len(recs)
 		}
-		f, err := t.pool.NewPage(rum.Base)
+		f, err := t.newPage(rum.Base)
 		if err != nil {
 			return err
 		}
@@ -501,7 +571,7 @@ func (t *Tree) BulkLoad(recs []core.Record) error {
 				// Fall through: build a node with only a leftmost child,
 				// which routes every key of the group correctly.
 			}
-			f, err := t.pool.NewPage(rum.Aux)
+			f, err := t.newPage(rum.Aux)
 			if err != nil {
 				return err
 			}
@@ -565,17 +635,17 @@ func (t *Tree) freeAll(pid storage.PageID) error {
 				return err
 			}
 		}
-		return t.pool.FreePage(pid)
+		return t.freePage(pid)
 	}
 	t.pool.Release(f)
-	return t.pool.FreePage(pid)
+	return t.freePage(pid)
 }
 
 // Knobs exposes the tunable parameters (core.Tunable).
 func (t *Tree) Knobs() []core.Knob {
 	page := t.pool.Device().PageSize()
 	physLeaf := float64((page - headerSize) / leafEntrySize)
-	return []core.Knob{
+	knobs := []core.Knob{
 		{
 			Name: "max_leaf", Min: 4, Max: physLeaf, Current: float64(t.leafCap),
 			Doc: "entries per leaf; smaller = taller tree (higher RO), less shifting per split (lower UO variance), more page slack (higher MO)",
@@ -585,6 +655,13 @@ func (t *Tree) Knobs() []core.Knob {
 			Doc: "bulk-load fill factor; lower = more slack (higher MO) but fewer early splits (lower UO)",
 		},
 	}
+	if t.mvccOn() {
+		knobs = append(knobs, core.Knob{
+			Name: "versions", Min: 1, Max: 64, Current: float64(t.cfg.Versions),
+			Doc: "published MVCC versions retained; more = longer snapshot lifetimes for concurrent readers at higher MO (retired pages pinned)",
+		})
+	}
+	return knobs
 }
 
 func (t *Tree) bulkFill() float64 {
@@ -602,6 +679,15 @@ func (t *Tree) SetKnob(name string, value float64) error {
 		t.cfg.MaxLeaf = int(value)
 	case "bulk_fill":
 		t.cfg.BulkFill = value
+	case "versions":
+		if !t.mvccOn() {
+			return fmt.Errorf("btree: versions knob requires a tree built with Config.Versions > 0")
+		}
+		if int(value) < 1 {
+			return fmt.Errorf("btree: versions %v out of range", value)
+		}
+		t.cfg.Versions = int(value)
+		t.trimAndReclaim()
 	default:
 		return fmt.Errorf("btree: unknown knob %q", name)
 	}

@@ -1,0 +1,378 @@
+// MVCC snapshot reads for the B+-tree: path-copying on mutation,
+// epoch-stamped immutable roots, bounded version retention with a
+// reclamation epoch.
+//
+// The design is shadow paging amortized over a publish interval. Every page
+// records the write epoch it was allocated in. Mutating a page allocated in
+// the current epoch is done in place — nobody else can see it yet. Mutating
+// a page from an earlier epoch first copies it to a fresh page (writable),
+// re-points the parent, and retires the original: published versions keep
+// reading the untouched original bytes. Publish flushes the buffer pool so
+// every reachable page is materialized on the device, stamps the current
+// root with the epoch, captures a storage.PageView for lock-free readers,
+// and advances the epoch — making all surviving pages copy-on-write.
+//
+// Reclamation is epoch-based. A retired page carries the epoch it was
+// superseded in; it can be recycled once the minimum epoch over all live
+// versions (retained in the bounded window, or released late by a reader)
+// has reached that epoch, because a version published at epoch e only
+// references pages retired strictly after e. Until then the retired pages
+// are the memory-overhead (MO) tax of snapshot isolation, reported through
+// Size() and SnapshotStats().
+package btree
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/rum"
+	"repro/internal/storage"
+)
+
+// version is one published immutable root. refs counts outstanding acquired
+// snapshots; it is atomic because Release may run on a reader goroutine
+// while the writer's reclamation pass inspects it.
+type version struct {
+	epoch  uint64
+	root   storage.PageID
+	height int
+	count  int
+	view   *storage.PageView
+	refs   atomic.Int64
+}
+
+// retiredPage is a page superseded by copy-on-write (or dropped from the
+// tree) during the given epoch, awaiting reclamation.
+type retiredPage struct {
+	pid   storage.PageID
+	epoch uint64
+}
+
+func (t *Tree) mvccOn() bool { return t.cfg.Versions > 0 }
+
+// newPage allocates a page through the pool, registering its birth epoch
+// under MVCC so writable can tell private pages from published ones.
+func (t *Tree) newPage(c rum.Class) (*storage.Frame, error) {
+	f, err := t.pool.NewPage(c)
+	if err != nil {
+		return nil, err
+	}
+	if t.mvccOn() {
+		t.allocEpoch[f.ID()] = t.epoch
+	}
+	return f, nil
+}
+
+// freePage releases a page that is leaving the tree. Under MVCC a page born
+// in the current epoch was never published and is freed eagerly; anything
+// older may be reachable from a published version and is retired instead.
+func (t *Tree) freePage(pid storage.PageID) error {
+	if !t.mvccOn() {
+		return t.pool.FreePage(pid)
+	}
+	if t.allocEpoch[pid] == t.epoch {
+		delete(t.allocEpoch, pid)
+		return t.pool.FreePage(pid)
+	}
+	t.retired = append(t.retired, retiredPage{pid: pid, epoch: t.epoch})
+	return nil
+}
+
+// writable returns a frame whose page may be mutated in place. Outside MVCC
+// (and for pages born in the current epoch) that is the frame itself. For a
+// page shared with published versions it allocates a copy, retires the
+// original, and returns the copy — the caller must re-point the parent at
+// the new id. On error the input frame has been released.
+func (t *Tree) writable(f *storage.Frame) (*storage.Frame, error) {
+	if !t.mvccOn() {
+		return f, nil
+	}
+	pid := f.ID()
+	if t.allocEpoch[pid] == t.epoch {
+		return f, nil
+	}
+	class := rum.Base
+	if !(node{f.Data()}).isLeaf() {
+		class = rum.Aux
+	}
+	nf, err := t.newPage(class)
+	if err != nil {
+		t.pool.Release(f)
+		return nil, err
+	}
+	copy(nf.Data(), f.Data())
+	nf.MarkDirty()
+	t.pool.Release(f)
+	t.retired = append(t.retired, retiredPage{pid: pid, epoch: t.epoch})
+	t.stats.CowCopies++
+	return nf, nil
+}
+
+// descendToLeafW walks from the root to the leaf covering k, making every
+// node on the path writable and re-pointing parents as copies happen. It is
+// the mutation-path descent for Update and Delete; outside MVCC it behaves
+// exactly like descendToLeaf.
+func (t *Tree) descendToLeafW(k core.Key) (*storage.Frame, error) {
+	f, err := t.pool.Fetch(t.root)
+	if err != nil {
+		return nil, err
+	}
+	if f, err = t.writable(f); err != nil {
+		return nil, err
+	}
+	t.root = f.ID()
+	for {
+		n := node{f.Data()}
+		if n.isLeaf() {
+			return f, nil
+		}
+		child := n.route(k)
+		cf, err := t.pool.Fetch(child)
+		if err != nil {
+			t.pool.Release(f)
+			return nil, err
+		}
+		if cf, err = t.writable(cf); err != nil {
+			t.pool.Release(f)
+			return nil, err
+		}
+		if cf.ID() != child {
+			t.replaceChild(n, k, cf.ID())
+			f.MarkDirty()
+		}
+		t.pool.Release(f)
+		f = cf
+	}
+}
+
+// scanSubtree emits records in [lo, hi] under pid in key order without using
+// the leaf chain, descending through internal separators instead. It reports
+// whether the scan should continue past this subtree.
+func (t *Tree) scanSubtree(pid storage.PageID, lo, hi core.Key, emit func(core.Key, core.Value) bool) (int, bool) {
+	f, err := t.pool.Fetch(pid)
+	if err != nil {
+		return 0, false
+	}
+	n := node{f.Data()}
+	if n.isLeaf() {
+		emitted := 0
+		for i := n.leafSearch(lo); i < n.count(); i++ {
+			k := n.leafKey(i)
+			if k > hi {
+				t.pool.Release(f)
+				return emitted, false
+			}
+			emitted++
+			if !emit(k, n.leafValue(i)) {
+				t.pool.Release(f)
+				return emitted, false
+			}
+		}
+		t.pool.Release(f)
+		return emitted, true
+	}
+	// Collect overlapping children, then release the parent before
+	// recursing to respect the pool's pin budget (same as freeAll).
+	cnt := n.count()
+	children := make([]storage.PageID, 0, cnt+1)
+	for ci := 0; ci <= cnt; ci++ {
+		if ci > 0 && n.intKey(ci-1) > hi {
+			break // child keys start past hi
+		}
+		if ci < cnt && n.intKey(ci) <= lo {
+			continue // child keys end at or before lo
+		}
+		if ci == 0 {
+			children = append(children, n.link())
+		} else {
+			children = append(children, n.intChild(ci-1))
+		}
+	}
+	t.pool.Release(f)
+	total := 0
+	for _, c := range children {
+		got, cont := t.scanSubtree(c, lo, hi, emit)
+		total += got
+		if !cont {
+			return total, false
+		}
+	}
+	return total, true
+}
+
+// Publish makes the current tree state available to Acquire as a new
+// immutable version (core.SnapshotReader). It flushes the pool so every
+// reachable page is materialized on the device, stamps the root with the
+// current epoch, captures a PageView for lock-free readers, advances the
+// epoch, and runs retention trimming plus the reclamation pass.
+func (t *Tree) Publish() error {
+	if !t.mvccOn() {
+		return core.ErrNoSnapshots
+	}
+	t.pool.FlushAll()
+	v := &version{
+		epoch:  t.epoch,
+		root:   t.root,
+		height: t.height,
+		count:  t.count,
+		view:   t.pool.Device().View(),
+	}
+	t.versions = append(t.versions, v)
+	t.epoch++
+	t.trimAndReclaim()
+	return nil
+}
+
+// Acquire returns the newest published version with a reference held, or
+// nil if nothing has been published yet (core.SnapshotReader). Writer-side
+// call; the returned snapshot's methods are safe from any goroutine.
+func (t *Tree) Acquire() core.Snapshot {
+	if len(t.versions) == 0 {
+		return nil
+	}
+	v := t.versions[len(t.versions)-1]
+	v.refs.Add(1)
+	return &Snapshot{v: v, pageSize: t.pool.Device().PageSize()}
+}
+
+// SnapshotStats reports the current version state (core.SnapshotReader).
+func (t *Tree) SnapshotStats() core.SnapshotStats {
+	return core.SnapshotStats{
+		Epoch:         t.epoch,
+		Versions:      len(t.versions),
+		RetainedBytes: uint64(len(t.retired)) * uint64(t.pool.Device().PageSize()),
+	}
+}
+
+// trimAndReclaim bounds retention to cfg.Versions and frees every retired
+// page no live version can reach. A version published at epoch e references
+// only pages retired strictly after e, so the reclaimable prefix of the
+// retire queue is everything retired at or before the minimum live epoch.
+// Versions dropped from the window while still acquired stay live (pinned)
+// until their readers release them; the writer-only sweep here is the only
+// place refs is allowed to transition a version into reclamation.
+func (t *Tree) trimAndReclaim() {
+	for len(t.versions) > t.cfg.Versions {
+		old := t.versions[0]
+		t.versions = t.versions[1:]
+		if old.refs.Load() > 0 {
+			t.pinned = append(t.pinned, old)
+		}
+	}
+	live := t.pinned[:0]
+	for _, v := range t.pinned {
+		if v.refs.Load() > 0 {
+			live = append(live, v)
+		}
+	}
+	t.pinned = live
+
+	minLive := t.epoch
+	for _, v := range t.versions {
+		if v.epoch < minLive {
+			minLive = v.epoch
+		}
+	}
+	for _, v := range t.pinned {
+		if v.epoch < minLive {
+			minLive = v.epoch
+		}
+	}
+
+	i := 0
+	for i < len(t.retired) && t.retired[i].epoch <= minLive {
+		pid := t.retired[i].pid
+		delete(t.allocEpoch, pid)
+		_ = t.pool.FreePage(pid)
+		i++
+	}
+	if i > 0 {
+		t.retired = append(t.retired[:0], t.retired[i:]...)
+	}
+}
+
+// Snapshot is an immutable point-in-time view of the tree
+// (core.Snapshot). Get and RangeScan are safe for concurrent use from any
+// goroutine: they touch only the version's PageView and the caller's own
+// meter, with zero coordination. The physical accounting is per page
+// touched — snapshot readers run uncached (no shared buffer pool, which
+// would need locking), so a point read costs one page read per level.
+type Snapshot struct {
+	v        *version
+	pageSize int
+}
+
+// Epoch returns the write epoch the snapshot was published at.
+func (s *Snapshot) Epoch() uint64 { return s.v.epoch }
+
+// Len returns the number of records in the snapshot.
+func (s *Snapshot) Len() int { return s.v.count }
+
+// Release drops the reference; must be called exactly once.
+func (s *Snapshot) Release() { s.v.refs.Add(-1) }
+
+// Get returns the value stored under k as of the snapshot, charging one
+// page read per level to m. Allocation-free: the quiet read path.
+func (s *Snapshot) Get(k core.Key, m *rum.Meter) (core.Value, bool) {
+	pid := s.v.root
+	for {
+		page := s.v.view.Page(pid)
+		m.CountRead(s.v.view.Class(pid), s.pageSize)
+		n := node{page}
+		if n.isLeaf() {
+			i := n.leafSearch(k)
+			if i < n.count() && n.leafKey(i) == k {
+				return n.leafValue(i), true
+			}
+			return 0, false
+		}
+		pid = n.route(k)
+	}
+}
+
+// RangeScan emits snapshot records with lo <= key <= hi in key order,
+// charging one page read per node visited to m.
+func (s *Snapshot) RangeScan(lo, hi core.Key, m *rum.Meter, emit func(core.Key, core.Value) bool) int {
+	n, _ := s.scan(s.v.root, lo, hi, m, emit)
+	return n
+}
+
+func (s *Snapshot) scan(pid storage.PageID, lo, hi core.Key, m *rum.Meter, emit func(core.Key, core.Value) bool) (int, bool) {
+	page := s.v.view.Page(pid)
+	m.CountRead(s.v.view.Class(pid), s.pageSize)
+	n := node{page}
+	if n.isLeaf() {
+		emitted := 0
+		for i := n.leafSearch(lo); i < n.count(); i++ {
+			k := n.leafKey(i)
+			if k > hi {
+				return emitted, false
+			}
+			emitted++
+			if !emit(k, n.leafValue(i)) {
+				return emitted, false
+			}
+		}
+		return emitted, true
+	}
+	total := 0
+	cnt := n.count()
+	for ci := 0; ci <= cnt; ci++ {
+		if ci > 0 && n.intKey(ci-1) > hi {
+			break
+		}
+		if ci < cnt && n.intKey(ci) <= lo {
+			continue
+		}
+		child := n.link()
+		if ci > 0 {
+			child = n.intChild(ci - 1)
+		}
+		got, cont := s.scan(child, lo, hi, m, emit)
+		total += got
+		if !cont {
+			return total, false
+		}
+	}
+	return total, true
+}

@@ -62,6 +62,9 @@ var (
 	// ErrNotTunable is returned when a knob is set on a structure that does
 	// not implement Tunable.
 	ErrNotTunable = errors.New("core: access method is not tunable")
+	// ErrNoSnapshots is returned by Publish when the underlying structure
+	// does not implement SnapshotReader.
+	ErrNoSnapshots = errors.New("core: access method does not support snapshots")
 )
 
 // AccessMethod is the uniform interface over every structure in this

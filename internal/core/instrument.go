@@ -153,6 +153,64 @@ func (w *Instrumented) BulkLoad(recs []Record) error {
 	return bl.BulkLoad(recs)
 }
 
+// Publish forwards to the wrapped structure when it is a SnapshotReader.
+// Writer-side call, like every mutating call through the wrapper.
+func (w *Instrumented) Publish() error {
+	sr, ok := w.inner.(SnapshotReader)
+	if !ok {
+		return ErrNoSnapshots
+	}
+	return sr.Publish()
+}
+
+// Acquire returns the newest published snapshot wrapped for logical
+// accounting, or nil if the inner structure does not support snapshots or
+// has not published yet. The wrapper applies the same conventions as the
+// writer-side operations — one logical record per point read, one per
+// emitted range result — but charges them to the reader's private meter, so
+// per-reader totals merge exactly into the shard ledger. Writer-side call.
+func (w *Instrumented) Acquire() Snapshot {
+	sr, ok := w.inner.(SnapshotReader)
+	if !ok {
+		return nil
+	}
+	s := sr.Acquire()
+	if s == nil {
+		return nil
+	}
+	return instrumentedSnapshot{s}
+}
+
+// SnapshotStats forwards to the wrapped structure; the zero value is
+// returned when snapshots are unsupported. Writer-side call.
+func (w *Instrumented) SnapshotStats() SnapshotStats {
+	if sr, ok := w.inner.(SnapshotReader); ok {
+		return sr.SnapshotStats()
+	}
+	return SnapshotStats{}
+}
+
+// instrumentedSnapshot layers the logical half of the accounting over an
+// inner snapshot, mirroring what Instrumented does for the live structure:
+// the inner snapshot charges physical bytes to the reader's meter, this
+// wrapper charges the logical payload.
+type instrumentedSnapshot struct{ inner Snapshot }
+
+func (s instrumentedSnapshot) Epoch() uint64 { return s.inner.Epoch() }
+func (s instrumentedSnapshot) Len() int      { return s.inner.Len() }
+func (s instrumentedSnapshot) Release()      { s.inner.Release() }
+
+func (s instrumentedSnapshot) Get(k Key, m *rum.Meter) (Value, bool) {
+	m.CountLogicalRead(RecordSize)
+	return s.inner.Get(k, m)
+}
+
+func (s instrumentedSnapshot) RangeScan(lo, hi Key, m *rum.Meter, emit func(Key, Value) bool) int {
+	n := s.inner.RangeScan(lo, hi, m, emit)
+	m.CountLogicalRead(n * RecordSize)
+	return n
+}
+
 // Knobs forwards to the wrapped structure when it is Tunable.
 func (w *Instrumented) Knobs() []Knob {
 	if t, ok := w.inner.(Tunable); ok {

@@ -1,0 +1,80 @@
+package core
+
+import "repro/internal/rum"
+
+// Snapshot is an immutable point-in-time view of an access method, the unit
+// of the single-writer/many-reader contract: the writer goroutine keeps
+// mutating the live structure while any number of reader goroutines run Get
+// and RangeScan against an acquired Snapshot concurrently, with zero
+// coordination between them.
+//
+// Read methods take the caller's private rum.Meter instead of charging the
+// structure's own ledger: a snapshot is shared between readers, so metering
+// into shared state would either race or serialize the very reads MVCC
+// exists to parallelize. Each reader accumulates into its own plain Meter
+// and the serving layer merges those into the shard ledger when the snapshot
+// is released — one atomic merge per reader session, not one per byte —
+// keeping the RUM accounting exact.
+//
+// Get and RangeScan are safe for concurrent use from any goroutine (each
+// call with its own meter). Release is safe from any goroutine but must be
+// called exactly once per Acquire, after which the snapshot must not be
+// touched; it is what lets the writer's reclamation epoch advance past the
+// pages this snapshot pins.
+type Snapshot interface {
+	// Epoch returns the write epoch the snapshot was published at. Epochs
+	// are strictly increasing across publishes, so two snapshots of the same
+	// structure are ordered by Epoch.
+	Epoch() uint64
+
+	// Len returns the number of live records in the snapshot.
+	Len() int
+
+	// Get returns the value for k as of the snapshot, charging physical and
+	// logical read traffic to m.
+	Get(k Key, m *rum.Meter) (Value, bool)
+
+	// RangeScan calls emit for every snapshot record with lo <= key <= hi in
+	// ascending key order, stopping early if emit returns false. It returns
+	// the number of records emitted and charges traffic to m.
+	RangeScan(lo, hi Key, m *rum.Meter, emit func(Key, Value) bool) int
+
+	// Release drops the caller's reference. The underlying version stays
+	// readable for other holders; once every reference is gone the writer's
+	// next reclamation pass may recycle the pages it pinned.
+	Release()
+}
+
+// SnapshotStats describes the version state of a SnapshotReader, for
+// telemetry and memory-overhead (MO) accounting.
+type SnapshotStats struct {
+	// Epoch is the current write epoch (the epoch the next publish stamps).
+	Epoch uint64
+	// Versions is the number of published versions currently retained.
+	Versions int
+	// RetainedBytes is the space pinned by retired-but-unreclaimed pages —
+	// the MO tax paid for snapshot isolation, over and above the live
+	// structure reported by Size().
+	RetainedBytes uint64
+}
+
+// SnapshotReader is implemented by access methods that support MVCC snapshot
+// reads. Publish, Acquire, and SnapshotStats are writer-side calls: they
+// must run on the goroutine that owns the structure (the same single-writer
+// discipline as every mutating call). Only the returned Snapshot's methods
+// may be used from other goroutines.
+type SnapshotReader interface {
+	// Publish makes the current state available to subsequent Acquires as a
+	// new immutable version, flushing buffered writes so the version is
+	// fully materialized, and advances the write epoch. Retention is
+	// bounded: publishing may retire the oldest version and reclaim pages no
+	// live snapshot can reach.
+	Publish() error
+
+	// Acquire returns the newest published version with a reference held,
+	// or nil if nothing has been published yet. The caller must Release it.
+	Acquire() Snapshot
+
+	// SnapshotStats reports the current version state.
+	SnapshotStats() SnapshotStats
+}

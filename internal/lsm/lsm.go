@@ -66,6 +66,14 @@ type Config struct {
 	// the checkpoint writes are extra device traffic the paper's Table-1
 	// accounting does not include (see manifest.go).
 	Manifest bool
+	// Versions enables MVCC snapshot reads when > 0 (see mvcc.go): Publish
+	// freezes the memtable contents plus the immutable run list as an
+	// epoch-stamped version, retaining up to Versions of them for lock-free
+	// concurrent readers; run pages freed by compaction are held back until
+	// no retained version references them. Combining Versions with Manifest
+	// is unsupported: epoch reclamation frees pages the committed manifest
+	// may still reference, voiding the recovery contract.
+	Versions int
 }
 
 func (c *Config) defaults() {
@@ -109,18 +117,28 @@ type Tree struct {
 	gen         uint64           // generation of the committed manifest
 	manifest    []storage.PageID // pages of the committed manifest chain
 	pendingFree []storage.PageID // run pages quarantined until next commit
+
+	// MVCC state (unused when cfg.Versions == 0; see mvcc.go).
+	epoch    uint64        // current write epoch, starts at 1
+	versions []*version    // retained published versions, oldest first
+	pinned   []*version    // out-of-window versions still referenced
+	retired  []retiredPage // compacted-away pages awaiting reclamation
 }
 
 // New creates an empty tree on pool.
 func New(pool *storage.BufferPool, cfg Config) *Tree {
 	cfg.defaults()
 	meter := pool.Device().Meter()
-	return &Tree{
+	t := &Tree{
 		pool:  pool,
 		cfg:   cfg,
 		mem:   newMemtable(meter),
 		meter: meter,
 	}
+	if t.mvccOn() {
+		t.epoch = 1
+	}
+	return t
 }
 
 // Name identifies the tree and its shape.
@@ -174,6 +192,7 @@ func (t *Tree) Size() rum.SizeInfo {
 	}
 	memSize := t.mem.Size()
 	total := pageBytes + auxMeta + memSize.BaseBytes + memSize.AuxBytes
+	total += t.retainedBytes()
 	base := uint64(t.count) * core.RecordSize
 	if base > total {
 		base = total
@@ -374,10 +393,18 @@ func (t *Tree) readRun(r *run) ([]core.Record, error) {
 	return recs, nil
 }
 
-// freeRun releases a run's pages. Under Config.Manifest the pages are
-// quarantined instead: the committed manifest may still reference them, so
-// they are only freed once the next checkpoint commits (writeManifest).
+// freeRun releases a run's pages. Under Config.Versions the pages are
+// retired to the reclamation queue instead: a published version's run list
+// may still reference them, so they are only freed once the reclamation
+// epoch passes them (trimAndReclaim). Under Config.Manifest they are
+// quarantined until the next checkpoint commits (writeManifest).
 func (t *Tree) freeRun(r *run) {
+	if t.mvccOn() {
+		for _, pid := range r.pages {
+			t.retired = append(t.retired, retiredPage{pid: pid, epoch: t.epoch})
+		}
+		return
+	}
 	if t.cfg.Manifest {
 		t.pendingFree = append(t.pendingFree, r.pages...)
 		return
@@ -681,7 +708,7 @@ func (t *Tree) Knobs() []core.Knob {
 	if t.cfg.Tiering {
 		tier = 1
 	}
-	return []core.Knob{
+	knobs := []core.Knob{
 		{
 			Name: "size_ratio", Min: 2, Max: 32, Current: float64(t.cfg.SizeRatio),
 			Doc: "level size ratio T; larger = fewer levels (lower RO) but bigger merges (higher UO under leveling)",
@@ -699,6 +726,13 @@ func (t *Tree) Knobs() []core.Knob {
 			Doc: "1 = tiering (write-optimized: lazy merges, more runs), 0 = leveling (read-optimized: eager merges, one run per level)",
 		},
 	}
+	if t.mvccOn() {
+		knobs = append(knobs, core.Knob{
+			Name: "versions", Min: 1, Max: 64, Current: float64(t.cfg.Versions),
+			Doc: "published MVCC versions retained; more = longer snapshot lifetimes for concurrent readers at higher MO (retired run pages pinned)",
+		})
+	}
+	return knobs
 }
 
 // SetKnob adjusts a tuning parameter (core.Tunable); it takes effect on
@@ -722,6 +756,15 @@ func (t *Tree) SetKnob(name string, value float64) error {
 		t.cfg.MemtableRecords = int(value)
 	case "tiering":
 		t.cfg.Tiering = value >= 0.5
+	case "versions":
+		if !t.mvccOn() {
+			return fmt.Errorf("lsm: versions knob requires a tree built with Config.Versions > 0")
+		}
+		if int(value) < 1 {
+			return fmt.Errorf("lsm: versions must be >= 1")
+		}
+		t.cfg.Versions = int(value)
+		t.trimAndReclaim()
 	default:
 		return fmt.Errorf("lsm: unknown knob %q", name)
 	}

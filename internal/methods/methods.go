@@ -47,6 +47,11 @@ type Options struct {
 	// RetryBudget is the buffer pool's transparent retry allowance for
 	// transient device faults (0 = surface every fault to the caller).
 	RetryBudget int
+	// Versions, when positive, turns on MVCC snapshot retention for the
+	// catalog's snapshot-capable structures (btree, lsm-level, lsm-tier):
+	// each keeps up to Versions published versions readable. The default 0
+	// builds them without snapshot support, exactly as before.
+	Versions int
 }
 
 func (o *Options) defaults() {
@@ -163,7 +168,7 @@ func Catalog(opt Options) []Spec {
 	opt.defaults()
 	return []Spec{
 		{Name: "btree", Corner: rum.ReadOptimized, New: func() *core.Instrumented {
-			return NewBTree(opt, btree.Config{})
+			return NewBTree(opt, btree.Config{Versions: opt.Versions})
 		}},
 		{Name: "hash", Corner: rum.ReadOptimized, New: func() *core.Instrumented {
 			return NewHash(opt, hashindex.Config{})
@@ -178,10 +183,10 @@ func Catalog(opt Options) []Spec {
 		// LSM-tree; per-run filters are the Section-5 enhancement whose RUM
 		// effect Figure 3 sweeps explicitly.
 		{Name: "lsm-level", Corner: rum.WriteOptimized, New: func() *core.Instrumented {
-			return NewLSM(opt, lsm.Config{MemtableRecords: 1024, SizeRatio: 10})
+			return NewLSM(opt, lsm.Config{MemtableRecords: 1024, SizeRatio: 10, Versions: opt.Versions})
 		}},
 		{Name: "lsm-tier", Corner: rum.WriteOptimized, New: func() *core.Instrumented {
-			return NewLSM(opt, lsm.Config{MemtableRecords: 1024, SizeRatio: 10, Tiering: true})
+			return NewLSM(opt, lsm.Config{MemtableRecords: 1024, SizeRatio: 10, Tiering: true, Versions: opt.Versions})
 		}},
 		{Name: "zonemap", Corner: rum.SpaceOptimized, New: func() *core.Instrumented {
 			return NewZoneMap(256)

@@ -26,6 +26,9 @@ type ShardPoint struct {
 	Meter rum.Meter    `json:"meter"`
 	Size  rum.SizeInfo `json:"size"`
 	Len   int          `json:"len"`
+	// SnapVersions is the shard's retained MVCC snapshot count at this
+	// instant (0 when snapshot serving is off).
+	SnapVersions int `json:"snap_versions,omitempty"`
 }
 
 // WindowPoint is one instant of a live system: a timestamp, every shard's

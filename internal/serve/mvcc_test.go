@@ -1,0 +1,332 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/btree"
+	"repro/internal/core"
+	"repro/internal/lsm"
+	"repro/internal/methods"
+)
+
+func buildMVCCBTree(int) *core.Instrumented {
+	return methods.NewBTree(methods.Options{PageSize: 512, PoolPages: 64}, btree.Config{Versions: 3})
+}
+
+func buildMVCCLSM(int) *core.Instrumented {
+	return methods.NewLSM(methods.Options{PageSize: 512, PoolPages: 64},
+		lsm.Config{MemtableRecords: 256, BloomBitsPerKey: 10, Versions: 3})
+}
+
+// TestSnapshotsUnsupportedFallsBack: a structure without SnapshotReader
+// keeps working with Config.Snapshots on — reads just flow through the
+// mailbox.
+func TestSnapshotsUnsupportedFallsBack(t *testing.T) {
+	s := mustNew(t, Config{Shards: 2, Snapshots: true, Build: buildSkiplist})
+	if err := s.Insert(1, 10); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if v, ok := s.Get(1); !ok || v != 10 {
+		t.Fatalf("Get(1) = %d,%v; want 10,true", v, ok)
+	}
+	if active, ops := s.ReaderStats(); active != 0 || ops != 0 {
+		t.Fatalf("ReaderStats = %d,%d on an unsupported structure; want 0,0", active, ops)
+	}
+	if _, err := s.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+}
+
+// TestSnapshotReadYourWrites: in strict mode (StalenessOps=1, the default),
+// a client that completed a write call observes it in subsequent reads even
+// though those reads bypass the mailbox.
+func TestSnapshotReadYourWrites(t *testing.T) {
+	for name, build := range map[string]func(int) *core.Instrumented{
+		"btree": buildMVCCBTree, "lsm": buildMVCCLSM,
+	} {
+		t.Run(name, func(t *testing.T) {
+			s := mustNew(t, Config{Shards: 4, Snapshots: true, Build: build})
+			for k := uint64(0); k < 500; k++ {
+				if err := s.Insert(k, k*2); err != nil {
+					t.Fatalf("Insert(%d): %v", k, err)
+				}
+				if v, ok := s.Get(k); !ok || v != k*2 {
+					t.Fatalf("Get(%d) after Insert = %d,%v; want %d,true", k, v, ok, k*2)
+				}
+			}
+			_, ops := s.ReaderStats()
+			if ops == 0 {
+				t.Fatal("no reads were served from snapshots")
+			}
+			if _, err := s.Stop(); err != nil {
+				t.Fatalf("Stop: %v", err)
+			}
+		})
+	}
+}
+
+// TestSnapshotBatchOutcomes runs a mixed workload against a model with
+// pure-read batches interleaved, exercising the bypass and the unchunked
+// read path (MaxBatch smaller than the batches).
+func TestSnapshotBatchOutcomes(t *testing.T) {
+	s := mustNew(t, Config{Shards: 4, MaxBatch: 16, Snapshots: true, Build: buildMVCCBTree})
+	model := map[core.Key]core.Value{}
+	rng := rand.New(rand.NewPCG(3, 9))
+	for round := 0; round < 40; round++ {
+		// A write batch...
+		reqs := make([]Request, 64)
+		res := make([]Result, 64)
+		for i := range reqs {
+			k := core.Key(rng.Uint64N(800))
+			v := core.Value(rng.Uint64())
+			if _, exists := model[k]; exists {
+				reqs[i] = Request{Op: OpUpdate, Key: k, Value: v}
+			} else {
+				reqs[i] = Request{Op: OpInsert, Key: k, Value: v}
+			}
+			model[k] = v
+		}
+		if err := s.Do(reqs, res); err != nil {
+			t.Fatalf("Do(write): %v", err)
+		}
+		// ...then a pure-read batch over the whole keyspace.
+		for i := range reqs {
+			reqs[i] = Request{Op: OpGet, Key: core.Key(rng.Uint64N(800))}
+		}
+		if err := s.Do(reqs, res); err != nil {
+			t.Fatalf("Do(read): %v", err)
+		}
+		for i := range reqs {
+			want, wantOK := model[reqs[i].Key]
+			if res[i].OK != wantOK || (wantOK && res[i].Value != want) {
+				t.Fatalf("round %d: Get(%d) = (%d,%v), want (%d,%v)",
+					round, reqs[i].Key, res[i].Value, res[i].OK, want, wantOK)
+			}
+		}
+	}
+	// RangeScan from snapshots must agree with the model too.
+	got := map[core.Key]core.Value{}
+	s.RangeScan(0, ^core.Key(0), func(k core.Key, v core.Value) bool {
+		got[k] = v
+		return true
+	})
+	if len(got) != len(model) {
+		t.Fatalf("RangeScan saw %d records, model has %d", len(got), len(model))
+	}
+	for k, v := range model {
+		if got[k] != v {
+			t.Fatalf("RangeScan[%d] = %d, want %d", k, got[k], v)
+		}
+	}
+	reports, err := s.Stop()
+	if err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	var snaps int
+	for _, r := range reports {
+		snaps += r.SnapVersions
+	}
+	if snaps == 0 {
+		t.Fatal("no shard reported retained snapshot versions")
+	}
+}
+
+// TestSnapshotMeterExact: the aggregated Stop ledger must contain every
+// logical read exactly once, whether it was served by the shard goroutine or
+// by a bypass reader. Logical accounting is deterministic (RecordSize per
+// point read), so the total is checked against the op count.
+func TestSnapshotMeterExact(t *testing.T) {
+	const n = 600
+	s := mustNew(t, Config{Shards: 4, Snapshots: true, Build: buildMVCCBTree})
+	for k := uint64(0); k < n; k++ {
+		if err := s.Insert(k, k); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	// Pure-read batches: all served off snapshots.
+	reqs := make([]Request, n)
+	res := make([]Result, n)
+	for i := range reqs {
+		reqs[i] = Request{Op: OpGet, Key: core.Key(i)}
+	}
+	const rounds = 5
+	for r := 0; r < rounds; r++ {
+		if err := s.Do(reqs, res); err != nil {
+			t.Fatalf("Do: %v", err)
+		}
+	}
+	reports, err := s.Stop()
+	if err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	m, _, _ := Aggregate(reports)
+	wantReads := uint64(n*rounds) * core.RecordSize
+	if m.LogicalRead != wantReads {
+		t.Fatalf("aggregate LogicalRead = %d, want %d (reader traffic lost or duplicated)", m.LogicalRead, wantReads)
+	}
+	var ops uint64
+	for _, r := range reports {
+		ops += r.Ops
+	}
+	if ops != uint64(n+n*rounds) {
+		t.Fatalf("aggregate Ops = %d, want %d", ops, n+n*rounds)
+	}
+}
+
+// TestSnapshotConcurrentReadersStress is the serve-level single-writer/
+// many-reader stress: per the issue, one writer client and eight reader
+// clients per shard, readers asserting no torn reads (values always match
+// the key's generation discipline) and monotone snapshot epochs. Run with
+// -race.
+func TestSnapshotConcurrentReadersStress(t *testing.T) {
+	for name, build := range map[string]func(int) *core.Instrumented{
+		"btree": buildMVCCBTree, "lsm": buildMVCCLSM,
+	} {
+		t.Run(name, func(t *testing.T) {
+			const (
+				shards  = 2
+				readers = 8 * shards
+				n       = 2000
+			)
+			s := mustNew(t, Config{Shards: shards, Snapshots: true, Build: build})
+			// Keys hold v = k ^ (gen<<32); readers accept any generation but
+			// never a torn mix.
+			for k := uint64(0); k < n; k++ {
+				if err := s.Insert(k, k); err != nil {
+					t.Fatalf("Insert: %v", err)
+				}
+			}
+
+			var stop atomic.Bool
+			var torn atomic.Int64
+			var wg sync.WaitGroup
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				go func(seed uint64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewPCG(seed, 17))
+					reqs := make([]Request, 32)
+					res := make([]Result, 32)
+					for !stop.Load() {
+						for i := range reqs {
+							reqs[i] = Request{Op: OpGet, Key: core.Key(rng.Uint64N(n))}
+						}
+						if err := s.Do(reqs, res); err != nil {
+							return
+						}
+						for i := range res {
+							if !res[i].OK {
+								torn.Add(1) // keys are never deleted
+								return
+							}
+							k := uint64(reqs[i].Key)
+							if res[i].Value != k && res[i].Value&0xffffffff != k {
+								torn.Add(1)
+								return
+							}
+						}
+					}
+				}(uint64(r + 1))
+			}
+
+			// One writer client: update generations batch by batch.
+			reqs := make([]Request, 100)
+			res := make([]Result, 100)
+			for gen := uint64(1); gen <= 30; gen++ {
+				for b := 0; b < n/len(reqs); b++ {
+					for i := range reqs {
+						k := uint64(b*len(reqs) + i)
+						reqs[i] = Request{Op: OpUpdate, Key: core.Key(k), Value: core.Value(k | gen<<32)}
+					}
+					if err := s.Do(reqs, res); err != nil {
+						t.Fatalf("writer Do: %v", err)
+					}
+				}
+			}
+			stop.Store(true)
+			wg.Wait()
+			if torn.Load() != 0 {
+				t.Fatalf("%d torn/stale reads", torn.Load())
+			}
+			if _, err := s.Stop(); err != nil {
+				t.Fatalf("Stop: %v", err)
+			}
+		})
+	}
+}
+
+// TestSnapshotEpochsMonotonePerShard acquires snapshots repeatedly while
+// writing and checks each shard's published epoch never goes backwards.
+func TestSnapshotEpochsMonotonePerShard(t *testing.T) {
+	const shards = 2
+	s := mustNew(t, Config{Shards: shards, Snapshots: true, Build: buildMVCCBTree})
+	last := make([]uint64, shards)
+	for k := uint64(0); k < 400; k++ {
+		if err := s.Insert(k, k); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+		for i, sh := range s.shards {
+			ss := sh.acquireSnap()
+			if ss == nil {
+				continue
+			}
+			if ss.epoch < last[i] {
+				t.Fatalf("shard %d epoch went backwards: %d -> %d", i, last[i], ss.epoch)
+			}
+			last[i] = ss.epoch
+			ss.refs.Add(-1)
+		}
+	}
+	if _, err := s.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	for i, e := range last {
+		if e == 0 {
+			t.Fatalf("shard %d never published", i)
+		}
+	}
+}
+
+// TestSnapshotStaleness: with a relaxed staleness budget the server
+// publishes less often; reads still see some published prefix and writes
+// are never lost (verified after a Flush barrier, which republishes).
+func TestSnapshotStaleness(t *testing.T) {
+	s := mustNew(t, Config{Shards: 2, Snapshots: true, StalenessOps: 64, Build: buildMVCCBTree})
+	for k := uint64(0); k < 300; k++ {
+		if err := s.Insert(k, k+7); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	for k := uint64(0); k < 300; k++ {
+		if v, ok := s.Get(k); !ok || v != k+7 {
+			t.Fatalf("Get(%d) after Flush = %d,%v; want %d,true", k, v, ok, k+7)
+		}
+	}
+	if _, err := s.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+}
+
+func ExampleServer_snapshots() {
+	s, _ := New(Config{Shards: 2, Snapshots: true, Build: func(int) *core.Instrumented {
+		return methods.NewBTree(methods.Options{}, btree.Config{Versions: 2})
+	}})
+	for k := uint64(0); k < 100; k++ {
+		_ = s.Insert(k, k*k)
+	}
+	v, ok := s.Get(36) // pure read: served from a snapshot, no mailbox hop
+	fmt.Println(v, ok)
+	_, ops := s.ReaderStats()
+	fmt.Println(ops > 0)
+	_, _ = s.Stop()
+	// Output:
+	// 1296 true
+	// true
+}

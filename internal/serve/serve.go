@@ -8,18 +8,22 @@
 //
 // The design keeps two invariants the rest of the repository depends on:
 //
-//   - Single owner per shard. Every structure (and the simulated Device and
-//     BufferPool beneath it) is built on its shard's goroutine and never
-//     touched by any other goroutine, so the -tags racecheck goroutine-
-//     binding assertions hold unchanged. Concurrency lives entirely in the
-//     mailbox layer; the access methods themselves stay single-threaded.
+//   - Single writer, many readers per shard. Every structure (and the
+//     simulated Device and BufferPool beneath it) is built on its shard's
+//     goroutine and mutated by no other goroutine, so the -tags racecheck
+//     goroutine-binding assertions hold unchanged. With Config.Snapshots,
+//     any number of client goroutines may additionally read epoch-stamped
+//     immutable snapshots the writer publishes (see mvcc.go) — readers
+//     touch frozen state and raw device pages only, never the structure or
+//     the pool, and the racecheck build's page-generation stamps verify it.
 //
 //   - Truthful RUM accounting. Each shard's rum.Meter is a plain Meter on
 //     the hot path (no atomics per byte); meters are snapshotted by the
 //     shard goroutine when it exits and published through the happens-before
-//     edge of Server.Stop, where they merge into one aggregate. The merged
-//     logical side is exact: every request is accounted on exactly one
-//     shard.
+//     edge of Server.Stop, where they merge into one aggregate. Snapshot
+//     readers charge private meters that the shard absorbs at snapshot
+//     retirement. The merged logical side is exact: every request is
+//     accounted on exactly one shard.
 //
 // Ordering: requests from one client (one Do call at a time) are executed in
 // submission order on every shard they touch, because a Do call enqueues at
@@ -106,6 +110,19 @@ type Config struct {
 	// per-shard phase histograms, the slow-op flight recorder). Nil — the
 	// default — keeps the hot path free of clock reads and allocations.
 	Trace *TraceConfig
+	// Snapshots enables the MVCC read path (see mvcc.go): shards publish
+	// epoch-stamped snapshots and pure-read sub-batches execute against them
+	// on the caller's goroutine, bypassing the mailbox entirely. Build's
+	// structures must support core.SnapshotReader (btree/lsm with
+	// Config.Versions > 0); a shard whose structure does not keeps serving
+	// reads through its mailbox, unchanged.
+	Snapshots bool
+	// StalenessOps caps the writes a shard applies between snapshot
+	// publishes when Snapshots is on. The default 1 republishes after every
+	// write-carrying message — strict mode, giving read-your-writes across
+	// Do calls. Larger values amortize publish cost over up to StalenessOps
+	// writes; snapshot reads may then be up to that many writes stale.
+	StalenessOps int
 }
 
 func (c *Config) defaults() error {
@@ -123,6 +140,9 @@ func (c *Config) defaults() error {
 	}
 	if c.Queue <= 0 {
 		c.Queue = 4
+	}
+	if c.StalenessOps <= 0 {
+		c.StalenessOps = 1
 	}
 	return nil
 }
@@ -202,6 +222,9 @@ type ShardReport struct {
 	// the report of a shard that died mid-run: a dead shard publishes its
 	// error, never partial phase records.
 	Phases *obs.PhaseSnapshot
+	// SnapVersions is the structure's retained snapshot version count at
+	// report time (0 when the MVCC read path is off or unsupported).
+	SnapVersions int
 	// Err records a shard that died mid-run (a Build or operation panic).
 	// Requests routed to a dead shard complete with zero Results.
 	Err error
@@ -219,6 +242,16 @@ type shard struct {
 	// server-wide flight recorder it offers traces to.
 	rec  *obs.PhaseRecorder
 	slow *obs.SlowLog
+
+	// MVCC state (Config.Snapshots; see mvcc.go). cur and bypassOps are the
+	// reader-facing atomics; everything else is shard-goroutine-owned.
+	cur          atomic.Pointer[shardSnap]
+	bypassOps    atomic.Uint64 // reads served off snapshots, mailbox bypassed
+	snapEvery    int           // publish cadence in writes; 0 = MVCC off
+	writesSince  int           // writes applied since the last publish
+	snapVersions int           // SnapshotStats.Versions as of the last publish
+	snapMeter    rum.Meter     // reader traffic absorbed from dead snapshots
+	retiredSnaps []*shardSnap  // superseded snapshots awaiting absorption
 }
 
 // Server is the sharded serving front-end. All exported methods are safe for
@@ -229,6 +262,10 @@ type Server struct {
 	shards []*shard
 	slow   *obs.SlowLog // flight recorder; nil when tracing is disabled
 	wg     sync.WaitGroup
+
+	// readersActive gauges client goroutines currently executing snapshot
+	// reads (the rum_reader_concurrency metric).
+	readersActive atomic.Int64
 
 	mu      sync.RWMutex // guards stopped against in-flight sends
 	stopped bool
@@ -285,7 +322,15 @@ func (s *Server) runShard(sh *shard) {
 		if v := recover(); v != nil {
 			sh.report.Err = fmt.Errorf("serve: shard %d: %v", sh.id, v)
 			sh.report.Shard = sh.id
-			sh.report.Ops = sh.ops
+			sh.report.Ops = sh.ops + sh.bypassOps.Load()
+			// Uninstall the snapshot so readers stop serving from a dead
+			// shard and fall back to the mailbox (completing with zero
+			// Results, like every other request here). In-flight readers may
+			// still hold references, so the chain is not absorbed — the
+			// shard is dead and its ledger is the error report.
+			if cur := sh.cur.Swap(nil); cur != nil {
+				cur.refs.Add(-1)
+			}
 			for msg := range sh.mailbox {
 				// A dead shard still answers snapshots — with its error
 				// report — so a live telemetry plane sees the death instead
@@ -310,16 +355,25 @@ func (s *Server) runShard(sh *shard) {
 		sh.slow = s.slow
 	}
 	am := s.cfg.Build(sh.id)
+	if s.cfg.Snapshots {
+		// The first publish (of the freshly built, possibly empty structure)
+		// also probes snapshot support: a structure without it flips the
+		// shard back to mailbox-only reads.
+		sh.snapEvery = s.cfg.StalenessOps
+		sh.publishSnap(am)
+	}
 	for msg := range sh.mailbox {
 		sh.apply(am, msg)
 	}
+	sh.shutdownSnaps()
 	sh.report = ShardReport{
-		Shard: sh.id,
-		Name:  am.Name(),
-		Ops:   sh.ops,
-		Meter: am.Meter().Snapshot(),
-		Size:  am.Size(),
-		Len:   am.Len(),
+		Shard:        sh.id,
+		Name:         am.Name(),
+		Ops:          sh.ops + sh.bypassOps.Load(),
+		Meter:        sh.ledgerMeter(am),
+		Size:         am.Size(),
+		Len:          am.Len(),
+		SnapVersions: sh.snapVersions,
 	}
 	if sh.rec != nil {
 		sh.report.Phases = sh.rec.Snapshot()
@@ -334,33 +388,49 @@ func (sh *shard) apply(am *core.Instrumented, msg message) {
 	case kindOps:
 		if sh.rec != nil {
 			sh.applyOpsTraced(am, msg)
-			break
-		}
-		for _, i := range msg.idxs {
-			req := &msg.reqs[i]
-			// Assign whole Results: callers reuse res buffers across Do
-			// calls, so a partial write (OK only) would leak a stale Value
-			// from an earlier batch into this one's outcome.
-			var out Result
-			switch req.Op {
-			case OpGet:
-				out.Value, out.OK = am.Get(req.Key)
-			case OpInsert:
-				out.OK = am.Insert(req.Key, req.Value) == nil
-			case OpUpdate:
-				out.OK = am.Update(req.Key, req.Value)
-			case OpDelete:
-				out.OK = am.Delete(req.Key)
+		} else {
+			for _, i := range msg.idxs {
+				req := &msg.reqs[i]
+				// Assign whole Results: callers reuse res buffers across Do
+				// calls, so a partial write (OK only) would leak a stale Value
+				// from an earlier batch into this one's outcome.
+				var out Result
+				switch req.Op {
+				case OpGet:
+					out.Value, out.OK = am.Get(req.Key)
+				case OpInsert:
+					out.OK = am.Insert(req.Key, req.Value) == nil
+				case OpUpdate:
+					out.OK = am.Update(req.Key, req.Value)
+				case OpDelete:
+					out.OK = am.Delete(req.Key)
+				}
+				msg.res[i] = out
 			}
-			msg.res[i] = out
+			sh.ops += uint64(len(msg.idxs))
 		}
-		sh.ops += uint64(len(msg.idxs))
+		if sh.snapEvery > 0 {
+			writes := 0
+			for _, i := range msg.idxs {
+				if msg.reqs[i].Op != OpGet {
+					writes++
+				}
+			}
+			// Republish before the deferred completion fires: strict mode's
+			// read-your-writes rides on this ordering.
+			sh.noteWrites(am, writes)
+		}
 	case kindBulk:
 		if err := am.BulkLoad(msg.recs); err != nil {
 			*msg.bulkErr = fmt.Errorf("serve: shard %d bulkload: %w", sh.id, err)
 		}
+		sh.noteWrites(am, len(msg.recs))
 	case kindFlush:
 		am.Flush()
+		if sh.snapEvery > 0 {
+			// Flush is a barrier; give readers the freshest possible view.
+			sh.publishSnap(am)
+		}
 	case kindScan:
 		p := msg.scan
 		am.RangeScan(p.lo, p.hi, func(k core.Key, v core.Value) bool {
@@ -374,12 +444,13 @@ func (sh *shard) apply(am *core.Instrumented, msg message) {
 		// path. The write is published to the requester through the
 		// completion's channel-close edge.
 		rep := ShardReport{
-			Shard: sh.id,
-			Name:  am.Name(),
-			Ops:   sh.ops,
-			Meter: am.Meter().Snapshot(),
-			Size:  am.Size(),
-			Len:   am.Len(),
+			Shard:        sh.id,
+			Name:         am.Name(),
+			Ops:          sh.ops + sh.bypassOps.Load(),
+			Meter:        sh.ledgerMeter(am),
+			Size:         am.Size(),
+			Len:          am.Len(),
+			SnapVersions: sh.snapVersions,
 		}
 		if sh.rec != nil {
 			rep.Phases = sh.rec.Snapshot()
@@ -402,13 +473,25 @@ func (s *Server) Do(reqs []Request, res []Result) error {
 	nsh := len(s.shards)
 	// Partition request indices by home shard: one counting pass, then a
 	// placement pass into a single backing array, so a Do call allocates a
-	// constant number of slices regardless of batch size.
+	// constant number of slices regardless of batch size. The counting pass
+	// also classifies each shard's sub-batch: pure-read sub-batches skip
+	// MaxBatch chunking (chunking amortizes write latency; a read sub-batch
+	// split N ways pays N mailbox messages for nothing), and under
+	// Config.Snapshots they bypass the mailbox entirely when the shard has a
+	// published snapshot.
 	counts := make([]int, nsh)
 	home := make([]uint32, len(reqs))
+	readOnly := make([]bool, nsh)
+	for i := range readOnly {
+		readOnly[i] = true
+	}
 	for i := range reqs {
 		h := s.shardOf(reqs[i].Key)
 		home[i] = uint32(h)
 		counts[h]++
+		if reqs[i].Op != OpGet {
+			readOnly[h] = false
+		}
 	}
 	idxBuf := make([]uint32, len(reqs))
 	starts := make([]int, nsh+1)
@@ -422,27 +505,58 @@ func (s *Server) Do(reqs []Request, res []Result) error {
 		idxBuf[fill[h]] = uint32(i)
 		fill[h]++
 	}
-	// One message per (shard, MaxBatch chunk).
-	total := 0
-	for _, c := range counts {
-		total += (c + s.cfg.MaxBatch - 1) / s.cfg.MaxBatch
-	}
-	comp := &completion{done: make(chan struct{})}
-	comp.pending.Store(int32(total))
-	// One enqueue stamp per Do call when traced; the zero Time (and zero
-	// clock reads) otherwise.
-	var enq time.Time
-	if s.cfg.Trace != nil {
-		enq = time.Now()
-	}
 
 	s.mu.RLock()
 	if s.stopped {
 		s.mu.RUnlock()
 		return ErrStopped
 	}
+	// Snapshot acquisition and message counting happen together, before any
+	// send: the completion's pending count must be final before the first
+	// shard can finish. bypass[sh] non-nil marks a sub-batch this goroutine
+	// will execute itself.
+	var bypass []*shardSnap
+	total := 0
+	for sh := 0; sh < nsh; sh++ {
+		c := counts[sh]
+		if c == 0 {
+			continue
+		}
+		if readOnly[sh] {
+			if s.cfg.Snapshots {
+				if ss := s.shards[sh].acquireSnap(); ss != nil {
+					if bypass == nil {
+						bypass = make([]*shardSnap, nsh)
+					}
+					bypass[sh] = ss
+					continue
+				}
+			}
+			total++ // one unchunked message
+		} else {
+			total += (c + s.cfg.MaxBatch - 1) / s.cfg.MaxBatch
+		}
+	}
+	comp := &completion{done: make(chan struct{})}
+	comp.pending.Store(int32(total))
+	// One enqueue stamp per Do call when traced; the zero Time (and zero
+	// clock reads) otherwise.
+	var enq time.Time
+	if s.cfg.Trace != nil && total > 0 {
+		enq = time.Now()
+	}
 	for sh := 0; sh < nsh; sh++ {
 		idxs := idxBuf[starts[sh]:starts[sh+1]]
+		if len(idxs) == 0 || (bypass != nil && bypass[sh] != nil) {
+			continue
+		}
+		if readOnly[sh] {
+			s.shards[sh].mailbox <- message{
+				kind: kindOps, reqs: reqs, res: res, idxs: idxs,
+				enqueuedAt: enq, done: comp,
+			}
+			continue
+		}
 		for len(idxs) > 0 {
 			n := len(idxs)
 			if n > s.cfg.MaxBatch {
@@ -456,7 +570,34 @@ func (s *Server) Do(reqs []Request, res []Result) error {
 		}
 	}
 	s.mu.RUnlock()
-	<-comp.done
+
+	// Execute bypassed sub-batches on this goroutine — the client is the
+	// reader — overlapping with whatever the mailboxes are doing. Each
+	// sub-batch charges a private stack meter, merged once into the
+	// snapshot's AtomicMeter for the owning shard to absorb later.
+	if bypass != nil {
+		s.readersActive.Add(1)
+		var m rum.Meter
+		for sh, ss := range bypass {
+			if ss == nil {
+				continue
+			}
+			idxs := idxBuf[starts[sh]:starts[sh+1]]
+			for _, i := range idxs {
+				var out Result
+				out.Value, out.OK = ss.snap.Get(reqs[i].Key, &m)
+				res[i] = out
+			}
+			ss.meter.Merge(m)
+			m.Reset()
+			ss.refs.Add(-1)
+			s.shards[sh].bypassOps.Add(uint64(len(idxs)))
+		}
+		s.readersActive.Add(-1)
+	}
+	if total > 0 {
+		<-comp.done
+	}
 	return nil
 }
 
@@ -594,6 +735,13 @@ func (s *Server) Snapshot() ([]ShardReport, error) {
 // streamed: shards gather their full contribution before the merge, so emit
 // stopping early saves emission, not shard work.
 func (s *Server) RangeScan(lo, hi core.Key, emit func(core.Key, core.Value) bool) int {
+	if s.cfg.Snapshots {
+		// Serve the scan from snapshots on this goroutine when every shard
+		// has one (see mvcc.go); otherwise fall through to the broadcast.
+		if n, ok := s.snapshotScan(lo, hi, emit); ok {
+			return n
+		}
+	}
 	parts := make([]*scanPart, len(s.shards))
 	if err := s.broadcast(func(i int) message {
 		parts[i] = &scanPart{lo: lo, hi: hi}
@@ -607,7 +755,7 @@ func (s *Server) RangeScan(lo, hi core.Key, emit func(core.Key, core.Value) bool
 	}
 	// Hash routing scatters key order across shards; one sort restores it
 	// (and tolerates structures whose per-shard scan order is unsorted).
-	sort.Slice(all, func(i, j int) bool { return all[i].Key < all[j].Key })
+	sortRecords(all)
 	n := 0
 	for _, r := range all {
 		if !emit(r.Key, r.Value) {
@@ -644,6 +792,11 @@ func (s *Server) Stop() ([]ShardReport, error) {
 		}
 	}
 	return reports, err
+}
+
+// sortRecords orders recs by key ascending.
+func sortRecords(recs []core.Record) {
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Key < recs[j].Key })
 }
 
 // Aggregate merges per-shard reports into the server-wide ledger: summed

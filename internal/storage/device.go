@@ -117,13 +117,18 @@ type FaultInjector interface {
 // through which page-based access methods touch data, so its counters are the
 // ground truth for read and write amplification.
 //
-// A Device is single-owner: it is not safe for concurrent use, and the
-// parallel bench runner relies on every run cell constructing (or Cloning)
-// its own Device rather than sharing one — sharing would corrupt the meter
-// and stats silently. Builds with -tags racecheck bind each Device to the
-// first goroutine that touches it and panic on use from any other.
+// A Device is single-writer: its mutating and metering entry points are not
+// safe for concurrent use, and the parallel bench runner relies on every run
+// cell constructing (or Cloning) its own Device rather than sharing one —
+// sharing would corrupt the meter and stats silently. Builds with
+// -tags racecheck bind each Device to the first goroutine that touches it
+// and panic on use from any other. Concurrent readers are supported only
+// through PageView (see view.go): an immutable capture of the page table
+// that MVCC structures hand to snapshot readers, guarded in racecheck builds
+// by per-page generation stamps instead of the goroutine binding.
 type Device struct {
 	owner     owner
+	gen       pagegen
 	pageSize  int
 	medium    Medium
 	pages     [][]byte
@@ -268,6 +273,7 @@ func (d *Device) Alloc(c rum.Class) PageID {
 	d.pages = append(d.pages, make([]byte, d.pageSize))
 	d.class = append(d.class, c)
 	d.live = append(d.live, true)
+	d.gen.grow(len(d.pages))
 	return id
 }
 
@@ -288,6 +294,7 @@ func (d *Device) Free(id PageID) error {
 	d.live[id] = false
 	d.freeList = append(d.freeList, id)
 	d.stats.PagesFreed++
+	d.gen.bump(id)
 	return nil
 }
 

@@ -2,7 +2,7 @@
 
 package storage
 
-// owner is the no-op release build of the single-owner assertion. See
+// owner is the no-op release build of the single-writer assertion. See
 // ownercheck_on.go (built with -tags racecheck) for the checked variant.
 type owner struct{}
 

@@ -10,12 +10,16 @@ import (
 	"sync/atomic"
 )
 
-// owner enforces the single-owner contract when built with -tags racecheck:
-// the first goroutine to touch the guarded object becomes its owner, and any
-// touch from a different goroutine panics. This turns accidental cross-cell
-// sharing of a Device or BufferPool — which would silently corrupt meters in
-// a release build — into a loud, attributed failure. The check costs a stack
-// capture per call, so it stays out of release builds.
+// owner enforces the writer half of the single-writer/many-reader contract
+// when built with -tags racecheck: the first goroutine to touch the guarded
+// object becomes its owner (the single writer), and any touch from a
+// different goroutine panics. This turns accidental cross-cell sharing of a
+// Device or BufferPool — which would silently corrupt meters in a release
+// build — into a loud, attributed failure. Reader goroutines never trip this
+// guard because they are only allowed to touch pages through an acquired
+// PageView, whose own racecheck assertion (per-page generation stamps, see
+// viewcheck_on.go) verifies the reader half of the contract. The check costs
+// a stack capture per call, so it stays out of release builds.
 type owner struct {
 	gid atomic.Int64
 }

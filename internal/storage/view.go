@@ -1,0 +1,71 @@
+package storage
+
+import "repro/internal/rum"
+
+// PageView is an immutable, read-only view of a device's page images, the
+// storage half of the single-writer/many-reader contract: the owner goroutine
+// keeps mutating the Device through the usual owner-asserted entry points,
+// while any number of reader goroutines traverse a PageView concurrently with
+// zero coordination — no locks, no atomics, no meter traffic.
+//
+// Safety rests on three invariants the caller (an MVCC structure such as the
+// btree's versioned snapshots) must uphold:
+//
+//  1. Materialized capture: View is taken after every page reachable from the
+//     snapshot root has been flushed to the device (BufferPool.FlushAll), so
+//     readers never need the pool and no dirty frame shadows a page image.
+//  2. Copy-on-write: pages reachable from a published snapshot are never
+//     written in place again; mutations allocate fresh pages. A page image a
+//     reader can reach is therefore byte-immutable for the view's lifetime.
+//  3. Deferred reclamation: pages superseded by copy-on-write are not freed
+//     (and hence never reused by Alloc, which clears the buffer in place)
+//     until no live view can reach them.
+//
+// The view captures the device's page-table slice header, not a copy: Go
+// slice growth leaves the old backing array intact, so pages allocated after
+// capture are simply invisible to the view, and invariants 2 and 3 keep every
+// visible page stable. Builds with -tags racecheck additionally stamp each
+// page with a generation counter and panic when a reader touches a page that
+// was freed or reused after capture — the reader-side half of the contract
+// (see viewcheck_on.go), complementing the writer-side owner binding.
+//
+// A PageView counts no traffic: readers charge their own rum.Meter at the
+// call site so that per-reader accounting can be merged exactly into the
+// owning ledger when the snapshot is released.
+type PageView struct {
+	pages    [][]byte
+	class    []rum.Class
+	pageSize int
+	stamp    viewstamp
+}
+
+// View captures a read-only view of the current device image. Writer-side
+// call: it is owner-asserted like every other Device entry point. The caller
+// must have flushed all dirty buffer-pool frames first (invariant 1 above).
+func (d *Device) View() *PageView {
+	d.owner.assert("Device")
+	return &PageView{
+		pages:    d.pages,
+		class:    d.class,
+		pageSize: d.pageSize,
+		stamp:    d.gen.capture(len(d.pages)),
+	}
+}
+
+// PageSize returns the device page size in bytes.
+func (v *PageView) PageSize() int { return v.pageSize }
+
+// NumPages returns the number of pages visible to the view.
+func (v *PageView) NumPages() int { return len(v.pages) }
+
+// Page returns the image of a page captured by the view. The returned slice
+// aliases device memory that the copy-on-write and deferred-reclamation
+// invariants keep immutable; callers must treat it as read-only. Safe for
+// concurrent use by any goroutine. Counts no traffic — the caller meters.
+func (v *PageView) Page(id PageID) []byte {
+	v.stamp.check(id)
+	return v.pages[id]
+}
+
+// Class returns the data class a visible page was allocated under.
+func (v *PageView) Class(id PageID) rum.Class { return v.class[id] }

@@ -1,0 +1,20 @@
+//go:build !racecheck
+
+package storage
+
+// pagegen is the no-op release build of the per-page generation stamps that
+// back PageView's reader-side assertions. See viewcheck_on.go (built with
+// -tags racecheck) for the checked variant. Both the field on Device and the
+// stamp inside PageView are zero-size here, so the release-build view read
+// path is a bare bounds-checked slice index.
+type pagegen struct{}
+
+func (pagegen) grow(int)    {}
+func (pagegen) bump(PageID) {}
+
+func (pagegen) capture(int) viewstamp { return viewstamp{} }
+
+// viewstamp is the reader-side half: release builds check nothing.
+type viewstamp struct{}
+
+func (viewstamp) check(PageID) {}

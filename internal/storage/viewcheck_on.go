@@ -1,0 +1,87 @@
+//go:build racecheck
+
+package storage
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// pagegen extends the racecheck contract from single-owner to single-writer/
+// many-reader: the writer goroutine still binds the Device via owner.assert,
+// and reader goroutines — which touch pages only through a PageView — get
+// their own assertion that every page they read is still covered by the view
+// they acquired. Each page carries a generation counter, bumped when the page
+// is freed (the first step of any reuse); a PageView captures the counters at
+// View() time and every Page() access re-reads the live counter. A mismatch
+// means deferred reclamation was violated: the writer freed or reused a page
+// while a reader could still reach it — exactly the class of bug that would
+// silently return torn or recycled bytes in a release build.
+//
+// The live counters are published through an atomic pointer to an array of
+// atomics: the writer (alone) grows and bumps, readers only load, so the
+// check is lock-free on the read path. The O(pages) capture at View() is the
+// debug-build price of making every reader access individually attributable.
+type pagegen struct {
+	arr atomic.Pointer[[]atomic.Uint64]
+}
+
+// grow ensures capacity for n pages. Writer goroutine only.
+func (g *pagegen) grow(n int) {
+	old := g.arr.Load()
+	if old != nil && len(*old) >= n {
+		return
+	}
+	cap := 64
+	if old != nil {
+		cap = len(*old) * 2
+	}
+	for cap < n {
+		cap *= 2
+	}
+	next := make([]atomic.Uint64, cap)
+	if old != nil {
+		for i := range *old {
+			next[i].Store((*old)[i].Load())
+		}
+	}
+	g.arr.Store(&next)
+}
+
+// bump marks a page as retired from the current image. Writer goroutine only.
+func (g *pagegen) bump(id PageID) {
+	g.grow(int(id) + 1)
+	(*g.arr.Load())[id].Add(1)
+}
+
+// capture snapshots the first n generation counters for a new PageView.
+// Writer goroutine only.
+func (g *pagegen) capture(n int) viewstamp {
+	g.grow(n)
+	arr := g.arr.Load()
+	gens := make([]uint64, n)
+	for i := range gens {
+		gens[i] = (*arr)[i].Load()
+	}
+	return viewstamp{gens: gens, live: g}
+}
+
+// viewstamp carries the captured generations plus a handle to the live
+// counters; check compares the two on every reader access.
+type viewstamp struct {
+	gens []uint64
+	live *pagegen
+}
+
+func (s viewstamp) check(id PageID) {
+	if int(id) >= len(s.gens) {
+		panic(fmt.Sprintf(
+			"storage: page %d allocated after view capture read through PageView (single-writer/many-reader violation)", id))
+	}
+	cur := (*s.live.arr.Load())[id].Load()
+	if cur != s.gens[id] {
+		panic(fmt.Sprintf(
+			"storage: page %d freed or reused under a live PageView (gen %d -> %d, single-writer/many-reader violation)",
+			id, s.gens[id], cur))
+	}
+}
