@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race racecheck bench golden chaos-smoke serve-smoke serve-live-smoke mvcc-smoke mvcc-race
+.PHONY: check build vet test race racecheck bench golden chaos-smoke serve-smoke serve-live-smoke mvcc-smoke mvcc-race wal-smoke
 
 ## check: the full gate — build, vet, race-enabled tests, and the
 ## single-owner assertion build.
@@ -68,6 +68,16 @@ mvcc-smoke:
 	$(GO) run ./cmd/rumbench -exp mvcc -quick -n 2048 -ops 1000 \
 		-shards 8 -batch 64 -parallel 8 >/tmp/mvcc-par.txt
 	diff /tmp/mvcc-seq.txt /tmp/mvcc-par.txt
+
+## wal-smoke: the durability determinism gate — the walsweep experiment
+## (cost-unit throughput, per-op cost quantiles, log ledger, crash trials)
+## must render byte-identical stdout at any pool width.
+wal-smoke:
+	$(GO) run ./cmd/rumbench -exp walsweep -quick -n 2048 -ops 1000 \
+		-parallel 1 >/tmp/wal-seq.txt
+	$(GO) run ./cmd/rumbench -exp walsweep -quick -n 2048 -ops 1000 \
+		-parallel 8 >/tmp/wal-par.txt
+	diff /tmp/wal-seq.txt /tmp/wal-par.txt
 
 ## mvcc-race: the single-writer/many-reader packages under the race
 ## detector alone — quicker signal than the full `race` target when

@@ -62,7 +62,7 @@ import (
 )
 
 // knownExps lists every experiment name, in run order.
-var knownExps = []string{"props", "table1", "fig1", "fig2", "fig3", "conjecture", "adaptive", "extensions", "chaos", "serve", "mvcc"}
+var knownExps = []string{"props", "table1", "fig1", "fig2", "fig3", "conjecture", "adaptive", "extensions", "chaos", "serve", "mvcc", "walsweep"}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -212,6 +212,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 				c.Ops = 8000
 			}
 			return bench.RunChaos(c, plan).Render()
+		}),
+		"walsweep": quiet(func(c bench.Config) string {
+			if c.N == 0 {
+				c.N = 16384
+			}
+			if c.Ops == 0 {
+				c.Ops = 8000
+			}
+			return bench.RunWALSweep(c).Render()
 		}),
 		"serve": func(c bench.Config) (string, string) {
 			if c.N == 0 {

@@ -33,12 +33,19 @@
 //	rumserve -method lsm-level -shards 8 -rate 50000 -addr :9090
 //	rumserve -method btree -mix get=0.8,insert=0.1,update=0.05,delete=0.05
 //	rumserve -method btree -mvcc -mix read99
+//	rumserve -method lsm-level -wal -commit-batch 32
 //	rumserve -faults seed=7,p_read=0.001 -window 30s -scrape 500ms
 //
 // With -mvcc, pure-read batches are served lock-free from published MVCC
 // snapshots on the client goroutines (DESIGN.md §9); /metrics gains
 // rum_snapshot_versions{shard}, rum_reader_concurrency, and
 // rum_snapshot_reads_total, and -staleness sets the publish cadence.
+//
+// With -wal, every mutation is framed into its shard's write-ahead log
+// before it is acknowledged and the shard group-commits once per mailbox
+// batch (DESIGN.md §10) — the durability contract becomes DurableToCommit;
+// /metrics gains the rum_wal_* families (commits, syncs, checkpoints, log
+// pages and bytes, the committed watermark).
 package main
 
 import (
@@ -93,6 +100,11 @@ type config struct {
 	// serve.Config.StalenessOps (writes between snapshot publishes).
 	mvcc      bool
 	staleness int
+	// wal builds the structures behind a write-ahead log
+	// (faults.DurableToCommit); commitBatch is the group-commit size — the
+	// shards additionally commit at the end of every mailbox batch.
+	wal         bool
+	commitBatch int
 }
 
 // atomicHook counts storage events across all shard goroutines — the
@@ -211,6 +223,10 @@ func newDaemon(cfg config) (*daemon, error) {
 	opt := methods.Options{PoolPages: cfg.pool, Hook: d.hook}
 	if cfg.mvcc {
 		opt.Versions = mvccRetention
+	}
+	if cfg.wal {
+		opt.WAL = true
+		opt.CommitBatch = cfg.commitBatch
 	}
 	if _, err := methods.Lookup(opt, cfg.method); err != nil {
 		return nil, err
@@ -376,7 +392,7 @@ func (d *daemon) sampleOnce() {
 	for _, r := range reports {
 		p.Shards = append(p.Shards, obs.ShardPoint{
 			Shard: r.Shard, Ops: r.Ops, Meter: r.Meter, Size: r.Size, Len: r.Len,
-			SnapVersions: r.SnapVersions,
+			SnapVersions: r.SnapVersions, WAL: r.WAL,
 		})
 	}
 	d.ring.Push(p)
@@ -473,6 +489,47 @@ func (d *daemon) collectMetrics(e *obs.Encoder) {
 	e.Uint("rum_reader_concurrency", nil, uint64(active))
 	e.Family("rum_snapshot_reads_total", "counter", "Requests served from MVCC snapshots, bypassing the shard mailbox.")
 	e.Uint("rum_snapshot_reads_total", nil, snapReads)
+
+	// Durability plane: present only when at least one shard is write-ahead
+	// logged, so an unlogged daemon's scrape stays byte-identical to before.
+	var wp obs.WALPoint
+	haveWAL := false
+	if last != nil {
+		for _, s := range last.Shards {
+			if s.WAL == nil {
+				continue
+			}
+			haveWAL = true
+			wp.Committed += s.WAL.Committed
+			wp.Commits += s.WAL.Commits
+			wp.Syncs += s.WAL.Syncs
+			wp.Checkpoints += s.WAL.Checkpoints
+			wp.LogPagesWritten += s.WAL.LogPagesWritten
+			wp.LogBytesWritten += s.WAL.LogBytesWritten
+			wp.PagesRecycled += s.WAL.PagesRecycled
+			wp.LiveLogPages += s.WAL.LiveLogPages
+			wp.OverlayRecords += s.WAL.OverlayRecords
+		}
+	}
+	if haveWAL {
+		e.Family("rum_wal_committed_total", "counter", "Records durably group-committed across all shards (the DurableToCommit watermark).")
+		e.Uint("rum_wal_committed_total", nil, wp.Committed)
+		e.Family("rum_wal_commits_total", "counter", "Group commits across all shards.")
+		e.Uint("rum_wal_commits_total", nil, wp.Commits)
+		e.Family("rum_wal_syncs_total", "counter", "Simulated log syncs across all shards (one per commit, one per checkpoint record).")
+		e.Uint("rum_wal_syncs_total", nil, wp.Syncs)
+		e.Family("rum_wal_checkpoints_total", "counter", "Completed checkpoints across all shards.")
+		e.Uint("rum_wal_checkpoints_total", nil, wp.Checkpoints)
+		e.Family("rum_wal_log_pages_total", "counter", "Log pages across all shards, by disposition.")
+		e.Uint("rum_wal_log_pages_total", obs.L("event", "written"), wp.LogPagesWritten)
+		e.Uint("rum_wal_log_pages_total", obs.L("event", "recycled"), wp.PagesRecycled)
+		e.Family("rum_wal_log_bytes_total", "counter", "Log bytes appended across all shards (headers and payload, not page slack).")
+		e.Uint("rum_wal_log_bytes_total", nil, wp.LogBytesWritten)
+		e.Family("rum_wal_live_log_pages", "gauge", "Log pages not yet recycled, across all shards.")
+		e.Uint("rum_wal_live_log_pages", nil, uint64(wp.LiveLogPages))
+		e.Family("rum_wal_overlay_records", "gauge", "Logged records not yet absorbed into the structures by a checkpoint.")
+		e.Uint("rum_wal_overlay_records", nil, uint64(wp.OverlayRecords))
+	}
 
 	e.Family("rum_request_latency_ns", "histogram", "Per-batch request latency in nanoseconds (power-of-two buckets).")
 	e.Histo("rum_request_latency_ns", nil, lat)
@@ -700,6 +757,8 @@ func run(args []string, stdout, stderr io.Writer, testSignal <-chan struct{}) in
 	fs.DurationVar(&cfg.scrape, "scrape", time.Second, "interval between shard snapshots")
 	fs.BoolVar(&cfg.mvcc, "mvcc", false, "serve pure-read batches from MVCC snapshots, bypassing the shard mailbox (btree and lsm methods)")
 	fs.IntVar(&cfg.staleness, "staleness", 1, "with -mvcc: writes between snapshot publishes (1 = read-your-writes)")
+	fs.BoolVar(&cfg.wal, "wal", false, "write-ahead log every mutation (btree and lsm methods); upgrades durability to commit, /metrics gains rum_wal_*")
+	fs.IntVar(&cfg.commitBatch, "commit-batch", 64, "with -wal: records per group commit; shards also commit at the end of every mailbox batch")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -741,6 +800,10 @@ func run(args []string, stdout, stderr io.Writer, testSignal <-chan struct{}) in
 		return badFlag("-scrape must be a positive duration (got %v)", cfg.scrape)
 	case cfg.staleness < 1:
 		return badFlag("-staleness must be ≥ 1 (got %d)", cfg.staleness)
+	case cfg.commitBatch < 1:
+		return badFlag("-commit-batch must be ≥ 1 (got %d)", cfg.commitBatch)
+	case cfg.wal && cfg.mvcc:
+		return badFlag("-wal and -mvcc are mutually exclusive: the log owns the checkpoint machinery the snapshot read path would share")
 	}
 
 	ln, err := net.Listen("tcp", cfg.addr)
@@ -760,6 +823,10 @@ func run(args []string, stdout, stderr io.Writer, testSignal <-chan struct{}) in
 	if cfg.mvcc {
 		fmt.Fprintf(stderr, "rumserve: mvcc snapshot reads on (staleness %d writes, retention %d versions)\n",
 			cfg.staleness, mvccRetention)
+	}
+	if cfg.wal {
+		fmt.Fprintf(stderr, "rumserve: write-ahead logging on (commit batch %d, durable to commit)\n",
+			cfg.commitBatch)
 	}
 
 	httpSrv := &http.Server{Handler: d.handler()}

@@ -255,6 +255,8 @@ func TestRunFlagErrors(t *testing.T) {
 		{"negative window", []string{"-window", "-5s"}, 2},
 		{"zero scrape", []string{"-scrape", "0s"}, 2},
 		{"negative scrape", []string{"-scrape", "-1ms"}, 2},
+		{"bad commit batch", []string{"-commit-batch", "0"}, 2},
+		{"wal with mvcc", []string{"-wal", "-mvcc"}, 2},
 		{"unknown method", []string{"-method", "no-such-method", "-addr", "127.0.0.1:0"}, 1},
 	}
 	for _, tc := range cases {
@@ -316,5 +318,56 @@ func TestDaemonMVCC(t *testing.T) {
 	}
 	if row := res.Rows[0]; !row.Verified {
 		t.Fatalf("mvcc live run not verified: %+v", row)
+	}
+}
+
+// TestDaemonWAL drives the daemon with write-ahead logging on: the rum_wal_*
+// series must appear with a nonzero committed watermark, and the final
+// report must still verify every outcome against its prediction.
+func TestDaemonWAL(t *testing.T) {
+	cfg := testConfig()
+	cfg.method = "lsm-level"
+	cfg.wal = true
+	cfg.commitBatch = 8
+	d, err := newDaemon(cfg)
+	if err != nil {
+		t.Fatalf("newDaemon: %v", err)
+	}
+	committed := func() uint64 {
+		last := d.ring.Last()
+		if last == nil {
+			return 0
+		}
+		var total uint64
+		for _, s := range last.Shards {
+			if s.WAL != nil {
+				total += s.WAL.Committed
+			}
+		}
+		return total
+	}
+	waitFor(t, "committed records in a snapshot", func() bool { return committed() > 0 })
+
+	_, body, _ := get(t, d, "/metrics")
+	for _, series := range []string{
+		"rum_wal_committed_total", "rum_wal_commits_total", "rum_wal_syncs_total",
+		"rum_wal_checkpoints_total", `rum_wal_log_pages_total{event="written"}`,
+		`rum_wal_log_pages_total{event="recycled"}`, "rum_wal_log_bytes_total",
+		"rum_wal_live_log_pages", "rum_wal_overlay_records",
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("/metrics missing %q", series)
+		}
+	}
+	if strings.Contains(body, "rum_wal_committed_total 0\n") {
+		t.Error("rum_wal_committed_total stayed zero under a write-carrying mix")
+	}
+
+	res, err := d.stop()
+	if err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	if row := res.Rows[0]; !row.Verified {
+		t.Fatalf("wal live run not verified: %+v", row)
 	}
 }

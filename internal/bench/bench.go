@@ -2,7 +2,11 @@
 // the paper — the Section-2 propositions, Table 1, Figures 1–3, the
 // Section-3 conjecture grid, and the Section-4/5 adaptivity runs — each
 // regenerating the artifact from measurements of the implemented structures
-// and rendering it in a paper-like textual form.
+// and rendering it in a paper-like textual form. Beyond the paper's own
+// artifacts, the harness prices the operational subsystems the Section-5
+// roadmap motivates: chaos (a degraded device), serve (sharded
+// concurrency), mvcc (snapshot reads), and walsweep (write-ahead logging
+// and the group-commit durability trade).
 package bench
 
 import (

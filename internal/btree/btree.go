@@ -128,6 +128,12 @@ func (t *Tree) Height() int { return t.height }
 // Len returns the number of records.
 func (t *Tree) Len() int { return t.count }
 
+// Root returns the current root page id. Under MVCC the root moves on every
+// mutating operation (copy-on-write re-points the whole path), so after a
+// CheckpointBarrier the root uniquely identifies the barriered state — which
+// is exactly what the WAL stores in its checkpoint records for RecoverAt.
+func (t *Tree) Root() storage.PageID { return t.root }
+
 // Stats returns structural counters.
 func (t *Tree) Stats() Stats { return t.stats }
 

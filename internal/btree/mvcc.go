@@ -22,6 +22,7 @@
 package btree
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -216,6 +217,42 @@ func (t *Tree) Publish() error {
 		height: t.height,
 		count:  t.count,
 		view:   t.pool.Device().View(),
+	}
+	t.versions = append(t.versions, v)
+	t.epoch++
+	t.trimAndReclaim()
+	return nil
+}
+
+// CheckpointBarrier is Publish for a durability checkpoint rather than a
+// reader snapshot: it flushes the pool so every page of the current state is
+// materialized on the device, records the state as a published version, and
+// advances the epoch — but captures no PageView, because nobody will read
+// the version; it exists only to anchor reclamation. While the version sits
+// in the retention window, every page it references stays byte-stable on the
+// device (copy-on-write plus the reclamation lag of trimAndReclaim), which
+// is exactly what a write-ahead log's checkpoint record needs: the root it
+// names must still be intact when a crash forces recovery back to it, even
+// if later barriers have run since. Versions produced here must not be
+// handed to Acquire (their view is nil); the WAL wrapper never publishes
+// reader snapshots, so the two uses do not mix.
+//
+// The barrier fails — changing nothing — if the flush could not write every
+// dirty page back; a checkpoint over a half-flushed image would anchor a
+// state the device does not hold.
+func (t *Tree) CheckpointBarrier() error {
+	if !t.mvccOn() {
+		return core.ErrNoSnapshots
+	}
+	t.pool.FlushAll()
+	if n := t.pool.DirtyCount(); n != 0 {
+		return fmt.Errorf("btree: checkpoint barrier left %d dirty pages", n)
+	}
+	v := &version{
+		epoch:  t.epoch,
+		root:   t.root,
+		height: t.height,
+		count:  t.count,
 	}
 	t.versions = append(t.versions, v)
 	t.epoch++

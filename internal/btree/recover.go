@@ -46,44 +46,11 @@ func Recover(pool *storage.BufferPool, cfg Config) (*Tree, error) {
 		return nil, err
 	}
 	dev := pool.Device()
-	page := dev.PageSize()
-	physLeaf := (page - headerSize) / leafEntrySize
-	physInt := (page - headerSize) / intEntrySize
 
 	// Pass 1: classify every live page.
-	info := make(map[storage.PageID]*pageInfo)
-	for _, id := range dev.LivePageIDs() {
-		f, err := pool.Fetch(id)
-		if err != nil {
-			return nil, fmt.Errorf("btree: recovery read of page %d: %w", id, err)
-		}
-		n := node{f.Data()}
-		pi := &pageInfo{kind: n.kind(), count: n.count(), link: n.link()}
-		switch pi.kind {
-		case kindLeaf:
-			if pi.count > physLeaf || !leafOrdered(n) {
-				pi.kind = 0 // structurally invalid: treat as garbage
-			} else if pi.count > 0 {
-				pi.firstKey = n.leafKey(0)
-				pi.lastKey = n.leafKey(pi.count - 1)
-			}
-		case kindInternal:
-			if pi.count < 1 || pi.count > physInt || !intOrdered(n) {
-				pi.kind = 0
-			} else {
-				pi.children = append(pi.children, pi.link)
-				for i := 0; i < pi.count; i++ {
-					pi.children = append(pi.children, n.intChild(i))
-					pi.seps = append(pi.seps, n.intKey(i))
-				}
-				pi.firstKey = n.intKey(0)
-				pi.lastKey = n.intKey(pi.count - 1)
-			}
-		default:
-			pi.kind = 0 // zeroed allocation or foreign data
-		}
-		pool.Release(f)
-		info[id] = pi
+	info, err := classifyPages(pool)
+	if err != nil {
+		return nil, err
 	}
 
 	// Pass 2: root candidates are valid nodes no internal node points to.
@@ -135,6 +102,104 @@ func Recover(pool *storage.BufferPool, cfg Config) (*Tree, error) {
 	return t, nil
 }
 
+// RecoverAt rebuilds a tree handle from the device image under pool, pinned
+// to a known root — the form of recovery a write-ahead log checkpoint
+// enables. Where Recover must search for the one coherent tree (and fail on
+// rival candidates), RecoverAt validates exactly the tree the checkpoint
+// record named; stale roots of earlier checkpoints still on the device are
+// not ambiguity, just garbage. Live pages outside the validated tree are
+// freed unless keep reports them as owned by someone else (the log's own
+// pages); pass keep == nil to free every orphan.
+//
+// When cfg.Versions > 0 the recovered image is seeded into the retention
+// window as an already-published version before the epoch advances, so the
+// first post-recovery CheckpointBarrier cannot reclaim pages the durable
+// checkpoint on the device still references.
+func RecoverAt(pool *storage.BufferPool, cfg Config, root storage.PageID, keep func(storage.PageID) bool) (*Tree, error) {
+	t := &Tree{pool: pool, cfg: cfg}
+	if err := t.applyConfig(); err != nil {
+		return nil, err
+	}
+	info, err := classifyPages(pool)
+	if err != nil {
+		return nil, err
+	}
+	w, err := validateTreeOpts(root, info, cfg.Versions == 0)
+	if err != nil {
+		return nil, fmt.Errorf("btree: recovery at checkpoint root %d: %w", root, err)
+	}
+	t.root = root
+	t.height = w.depth
+	t.count = w.records
+	t.stats.LeafPages = w.leaves
+	t.stats.InternalPages = w.internals
+	if t.mvccOn() {
+		t.allocEpoch = make(map[storage.PageID]uint64)
+		t.versions = append(t.versions, &version{
+			epoch:  1,
+			root:   root,
+			height: w.depth,
+			count:  w.records,
+		})
+		t.epoch = 2
+	}
+	for _, id := range pool.Device().LivePageIDs() {
+		if w.reached[id] || (keep != nil && keep(id)) {
+			continue
+		}
+		if err := pool.FreePage(id); err != nil {
+			return nil, fmt.Errorf("btree: recovery GC of orphan page %d: %w", id, err)
+		}
+	}
+	return t, nil
+}
+
+// classifyPages reads every live page and classifies it as a leaf, an
+// internal node, or garbage (kind 0) — recovery pass 1, shared by Recover
+// and RecoverAt. Pages holding foreign data (log pages, zeroed allocations)
+// classify as garbage, never as an error.
+func classifyPages(pool *storage.BufferPool) (map[storage.PageID]*pageInfo, error) {
+	dev := pool.Device()
+	page := dev.PageSize()
+	physLeaf := (page - headerSize) / leafEntrySize
+	physInt := (page - headerSize) / intEntrySize
+	info := make(map[storage.PageID]*pageInfo)
+	for _, id := range dev.LivePageIDs() {
+		f, err := pool.Fetch(id)
+		if err != nil {
+			return nil, fmt.Errorf("btree: recovery read of page %d: %w", id, err)
+		}
+		n := node{f.Data()}
+		pi := &pageInfo{kind: n.kind(), count: n.count(), link: n.link()}
+		switch pi.kind {
+		case kindLeaf:
+			if pi.count > physLeaf || !leafOrdered(n) {
+				pi.kind = 0 // structurally invalid: treat as garbage
+			} else if pi.count > 0 {
+				pi.firstKey = n.leafKey(0)
+				pi.lastKey = n.leafKey(pi.count - 1)
+			}
+		case kindInternal:
+			if pi.count < 1 || pi.count > physInt || !intOrdered(n) {
+				pi.kind = 0
+			} else {
+				pi.children = append(pi.children, pi.link)
+				for i := 0; i < pi.count; i++ {
+					pi.children = append(pi.children, n.intChild(i))
+					pi.seps = append(pi.seps, n.intKey(i))
+				}
+				pi.firstKey = n.intKey(0)
+				pi.lastKey = n.intKey(pi.count - 1)
+			}
+		default:
+			pi.kind = 0 // zeroed allocation or foreign data
+		}
+		pool.Release(f)
+		info[id] = pi
+	}
+	return info, nil
+}
+
 func leafOrdered(n node) bool {
 	for i := 1; i < n.count(); i++ {
 		if n.leafKey(i-1) >= n.leafKey(i) {
@@ -166,12 +231,26 @@ type walkResult struct {
 // validateTree walks the subtree rooted at root, checking every structural
 // invariant of the on-page format, and errors on the first inconsistency.
 func validateTree(root storage.PageID, info map[storage.PageID]*pageInfo) (*walkResult, error) {
+	return validateTreeOpts(root, info, true)
+}
+
+// validateTreeOpts is validateTree with the leaf-chain check optional: under
+// MVCC copy-on-write the chain is stale by design — copying a leaf re-points
+// its parent but not its left sibling (that would cascade a copy of the
+// whole chain), and every MVCC read path descends through separators
+// instead. RecoverAt on a versioned image therefore skips the chain;
+// everything else (kinds, counts, key order, separator bounds, uniform
+// depth, acyclicity) still holds.
+func validateTreeOpts(root storage.PageID, info map[storage.PageID]*pageInfo, checkChain bool) (*walkResult, error) {
 	w := &walkResult{reached: make(map[storage.PageID]bool)}
 	depth, err := w.walk(root, info, nil, nil)
 	if err != nil {
 		return nil, err
 	}
 	w.depth = depth
+	if !checkChain {
+		return w, nil
+	}
 	// The leaves, gathered in key order, must form exactly the chain their
 	// link pointers describe.
 	for i, id := range w.chain {

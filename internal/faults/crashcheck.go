@@ -36,7 +36,24 @@ const (
 	// recovery, plus no-garbage for everything after. The LSM with a
 	// manifest declares DurableToFlush.
 	DurableToFlush
+	// DurableToCommit promises that every write covered by the method's
+	// committed watermark (Committer.Committed, sampled by the checker after
+	// each acknowledged op and each flush) survives recovery, plus
+	// no-garbage for everything after. With per-op commits this is full
+	// durability of every acknowledged write; with group commit the
+	// un-committed tail of the current batch is the only exposure. The
+	// write-ahead-logged structures declare DurableToCommit.
+	DurableToCommit
 )
+
+// Committer is implemented by methods whose durability is defined by a
+// commit watermark (a write-ahead log): Committed returns the number of
+// acknowledged mutations, in acknowledgement order, that are already
+// durable. The checker samples it to learn which prefix of the acked
+// sequence the DurableToCommit contract covers.
+type Committer interface {
+	Committed() uint64
+}
 
 // String names the contract.
 func (d Durability) String() string {
@@ -45,6 +62,8 @@ func (d Durability) String() string {
 		return "lossy"
 	case DurableToFlush:
 		return "durable-to-flush"
+	case DurableToCommit:
+		return "durable-to-commit"
 	default:
 		return fmt.Sprintf("durability(%d)", int(d))
 	}
@@ -141,6 +160,9 @@ type CheckResult struct {
 	// counts those covered by the last fully-successful flush; Survived
 	// counts acked records served correctly after recovery.
 	Acked, Checkpointed, Survived int
+	// Committed counts acked inserts covered by the method's committed
+	// watermark at the crash (0 unless the subject implements Committer).
+	Committed int
 	// Detail explains a Violated or FailedLoudly verdict.
 	Detail string
 }
@@ -150,8 +172,15 @@ type CheckResult struct {
 func (r CheckResult) String() string {
 	s := r.Verdict.String()
 	if r.CrashWrite != 0 {
-		s += fmt.Sprintf(" (crash@w%d, acked %d, checkpointed %d, survived %d/%d)",
-			r.CrashWrite, r.Acked, r.Checkpointed, r.Survived, r.Acked)
+		// Committed appears only for Committer subjects, so the historical
+		// lossy/durable-to-flush lines render byte-identically.
+		if r.Committed > 0 {
+			s += fmt.Sprintf(" (crash@w%d, acked %d, committed %d, checkpointed %d, survived %d/%d)",
+				r.CrashWrite, r.Acked, r.Committed, r.Checkpointed, r.Survived, r.Acked)
+		} else {
+			s += fmt.Sprintf(" (crash@w%d, acked %d, checkpointed %d, survived %d/%d)",
+				r.CrashWrite, r.Acked, r.Checkpointed, r.Survived, r.Acked)
+		}
 	}
 	if r.Detail != "" {
 		s += ": " + r.Detail
@@ -236,6 +265,24 @@ func CheckCrash(cfg CheckConfig, sub Subject) CheckResult {
 	if err != nil && !crashed {
 		return CheckResult{Verdict: Violated, Detail: fmt.Sprintf("open failed without a crash: %v", err)}
 	}
+	// The committed watermark: acked inserts in acknowledgement order, and
+	// the highest Committed() observed. Sampling after every acked op and
+	// every flush can only lag the true watermark, which under-constrains
+	// the check — never the reverse.
+	var ackedSeq []core.Record
+	var durable uint64
+	var committer Committer
+	if m != nil {
+		committer, _ = m.(Committer)
+	}
+	sample := func() {
+		if committer == nil || dev.Crashed() {
+			return
+		}
+		if w := committer.Committed(); w > durable {
+			durable = w
+		}
+	}
 	// pending is the record in flight when the crash fired: the crash
 	// models instant process death, so its insert was never acknowledged —
 	// but its pages may be half-applied, so recovery serving it (with
@@ -258,6 +305,8 @@ func CheckCrash(cfg CheckConfig, sub Subject) CheckResult {
 		switch {
 		case err == nil:
 			model[k] = v
+			ackedSeq = append(ackedSeq, core.Record{Key: k, Value: v})
+			sample()
 		case errors.Is(err, core.ErrKeyExists):
 			// fine: not acknowledged, nothing promised
 		case errors.Is(err, storage.ErrInjected):
@@ -269,15 +318,21 @@ func CheckCrash(cfg CheckConfig, sub Subject) CheckResult {
 			core.Flush(m)
 			if dev.Crashed() {
 				crashed = true
-			} else if pool.DirtyCount() == 0 {
-				checkpointed = make(map[core.Key]core.Value, len(model))
-				for k, v := range model {
-					checkpointed[k] = v
+			} else {
+				sample()
+				if pool.DirtyCount() == 0 {
+					checkpointed = make(map[core.Key]core.Value, len(model))
+					for k, v := range model {
+						checkpointed[k] = v
+					}
 				}
 			}
 		}
 	}
-	res := CheckResult{Acked: len(model), Checkpointed: len(checkpointed)}
+	if int(durable) > len(ackedSeq) {
+		durable = uint64(len(ackedSeq))
+	}
+	res := CheckResult{Acked: len(model), Checkpointed: len(checkpointed), Committed: int(durable)}
 	if !crashed {
 		// One last chance for the crash point to fire: the closing flush.
 		core.Flush(m)
@@ -306,9 +361,14 @@ func CheckCrash(cfg CheckConfig, sub Subject) CheckResult {
 	pool2 := storage.NewBufferPool(dev, cfg.PoolPages)
 	m2, err := sub.Reopen(pool2)
 	if err != nil {
-		if sub.Durability == DurableToFlush && len(checkpointed) > 0 {
+		switch {
+		case sub.Durability == DurableToFlush && len(checkpointed) > 0:
 			res.Verdict = Violated
 			res.Detail = fmt.Sprintf("reopen failed with %d checkpointed records promised durable: %v", len(checkpointed), err)
+			return res
+		case sub.Durability == DurableToCommit && durable > 0:
+			res.Verdict = Violated
+			res.Detail = fmt.Sprintf("reopen failed with %d committed records promised durable: %v", durable, err)
 			return res
 		}
 		res.Verdict = FailedLoudly
@@ -343,6 +403,14 @@ func CheckCrash(cfg CheckConfig, sub Subject) CheckResult {
 		for k, want := range checkpointed {
 			if got, ok := m2.Get(k); !ok || got != want {
 				violations = append(violations, fmt.Sprintf("checkpointed key %d lost (got %d,%v, want %d)", k, got, ok, want))
+			}
+		}
+	}
+	// Durability: the committed prefix of the acked sequence must be back.
+	if sub.Durability == DurableToCommit {
+		for _, rec := range ackedSeq[:durable] {
+			if got, ok := m2.Get(rec.Key); !ok || got != rec.Value {
+				violations = append(violations, fmt.Sprintf("committed key %d lost (got %d,%v, want %d)", rec.Key, got, ok, rec.Value))
 			}
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/lsm"
 	"repro/internal/storage"
+	"repro/internal/wal"
 )
 
 // btreeSubject: no WAL, in-place page writes — the tree only promises not to
@@ -68,12 +69,81 @@ func runCrashProperty(t *testing.T, sub faults.Subject, seeds int) {
 	t.Logf("%d seeds: %d crashes, %d recovered", seeds, crashes, recovered)
 }
 
+// walBTreeSubject / walLSMSubject: the write-ahead-logged structures promise
+// every committed record back (faults.DurableToCommit) — the checker samples
+// the Committed watermark and holds recovery to exactly that prefix.
+func walBTreeSubject(batch int) faults.Subject {
+	wcfg := wal.Config{CommitBatch: batch}
+	return faults.Subject{
+		Open: func(pool *storage.BufferPool) (core.AccessMethod, error) {
+			return wal.NewBTree(pool, btree.Config{}, wcfg)
+		},
+		Reopen: func(pool *storage.BufferPool) (core.AccessMethod, error) {
+			return wal.RecoverBTree(pool, btree.Config{}, wcfg)
+		},
+		Durability: faults.DurableToCommit,
+	}
+}
+
+func walLSMSubject(batch int) faults.Subject {
+	lcfg := lsm.Config{MemtableRecords: 64}
+	wcfg := wal.Config{CommitBatch: batch}
+	return faults.Subject{
+		Open: func(pool *storage.BufferPool) (core.AccessMethod, error) {
+			return wal.NewLSM(pool, lcfg, wcfg)
+		},
+		Reopen: func(pool *storage.BufferPool) (core.AccessMethod, error) {
+			return wal.RecoverLSM(pool, lcfg, wcfg)
+		},
+		Durability: faults.DurableToCommit,
+	}
+}
+
 func TestCrashConsistencyBTree(t *testing.T) {
 	runCrashProperty(t, btreeSubject(), 40)
 }
 
 func TestCrashConsistencyLSM(t *testing.T) {
 	runCrashProperty(t, lsmSubject(), 40)
+}
+
+func TestCrashConsistencyWALBTree(t *testing.T) {
+	for _, batch := range []int{1, 8} {
+		runCrashProperty(t, walBTreeSubject(batch), 40)
+	}
+}
+
+func TestCrashConsistencyWALLSM(t *testing.T) {
+	for _, batch := range []int{1, 8} {
+		runCrashProperty(t, walLSMSubject(batch), 40)
+	}
+}
+
+// TestCrashCheckCommittedWatermark: with per-op commits every acknowledged
+// insert is committed before it returns, so on any seed that recovers the
+// committed watermark must cover the whole acked sequence — and the
+// contract then makes them all survive.
+func TestCrashCheckCommittedWatermark(t *testing.T) {
+	sawRecovered := false
+	for seed := uint64(1); seed <= 10; seed++ {
+		res := faults.CheckCrash(faults.CheckConfig{Seed: seed}, walBTreeSubject(1))
+		if !res.Verdict.Acceptable() {
+			t.Fatalf("seed %d: %s", seed, res)
+		}
+		if res.Verdict != faults.Recovered {
+			continue
+		}
+		sawRecovered = true
+		if res.Committed != res.Acked {
+			t.Fatalf("seed %d: committed %d != acked %d with per-op commits: %s", seed, res.Committed, res.Acked, res)
+		}
+		if res.Survived < res.Committed {
+			t.Fatalf("seed %d: survived %d < committed %d: %s", seed, res.Survived, res.Committed, res)
+		}
+	}
+	if !sawRecovered {
+		t.Fatal("no seed recovered; watermark property never exercised")
+	}
 }
 
 // TestCrashCheckDeterminism: the checker is a pure function of its config —

@@ -16,6 +16,8 @@ func TestParsePlanRoundTrip(t *testing.T) {
 		{Seed: 7, ReadFailAt: []uint64{3, 9}, WriteFailAt: []uint64{5}},
 		{Seed: 99, CrashAtWrite: 200},
 		{Seed: 3, PRead: 0.125, ReadFailAt: []uint64{1}, CrashAtWrite: 17},
+		{Seed: 11, WriteFailAt: []uint64{2, 8}, CrashAtWrite: 31},
+		{Seed: 13, ReadFailAt: []uint64{4}, WriteFailAt: []uint64{6, 10}, CrashAtWrite: 150},
 	}
 	for _, p := range plans {
 		q, err := ParsePlan(p.String())
@@ -25,6 +27,33 @@ func TestParsePlanRoundTrip(t *testing.T) {
 		if !reflect.DeepEqual(p, q) {
 			t.Fatalf("round trip of %q: got %+v want %+v", p.String(), q, p)
 		}
+	}
+}
+
+// TestParsePlanCrashWithSchedules is the regression test for the round-trip
+// gap: a crash point combined with permanent fail-at schedules (especially
+// write schedules, which share the write path with the crash counter) must
+// encode and parse back field-for-field.
+func TestParsePlanCrashWithSchedules(t *testing.T) {
+	p := Plan{
+		Seed:         5,
+		PWrite:       0.25,
+		PTorn:        1,
+		ReadFailAt:   []uint64{7, 19},
+		WriteFailAt:  []uint64{3, 12, 40},
+		CrashAtWrite: 64,
+	}
+	s := p.String()
+	q, err := ParsePlan(s)
+	if err != nil {
+		t.Fatalf("ParsePlan(%q): %v", s, err)
+	}
+	if !reflect.DeepEqual(p, q) {
+		t.Fatalf("round trip of %q: got %+v want %+v", s, q, p)
+	}
+	// And the re-encoding is stable: String is a canonical form.
+	if s2 := q.String(); s2 != s {
+		t.Fatalf("re-encode drifted: %q then %q", s, s2)
 	}
 }
 
@@ -190,7 +219,8 @@ func TestTornBounds(t *testing.T) {
 }
 
 func TestDurabilityVerdictStrings(t *testing.T) {
-	if Lossy.String() != "lossy" || DurableToFlush.String() != "durable-to-flush" {
+	if Lossy.String() != "lossy" || DurableToFlush.String() != "durable-to-flush" ||
+		DurableToCommit.String() != "durable-to-commit" {
 		t.Fatal("durability names")
 	}
 	names := map[Verdict]string{

@@ -138,6 +138,14 @@ type manifestPage struct {
 // zeroed allocations — is freed. An image with live pages but no decodable
 // manifest fails loudly.
 func Recover(pool *storage.BufferPool, cfg Config) (*Tree, error) {
+	return RecoverKeep(pool, cfg, nil)
+}
+
+// RecoverKeep is Recover with a carve-out for pages owned by another
+// subsystem sharing the device: orphan GC skips every live page keep reports
+// true for. The write-ahead log recovers the LSM this way — log pages are
+// not the manifest's to free. keep == nil behaves exactly like Recover.
+func RecoverKeep(pool *storage.BufferPool, cfg Config, keep func(storage.PageID) bool) (*Tree, error) {
 	cfg.defaults()
 	if !cfg.Manifest {
 		return nil, fmt.Errorf("lsm: recovery requires Config.Manifest")
@@ -214,12 +222,13 @@ func Recover(pool *storage.BufferPool, cfg Config) (*Tree, error) {
 			}
 		}
 	}
-	// Orphan GC: anything alive the manifest does not own.
+	// Orphan GC: anything alive that neither the manifest nor keep owns.
 	for _, id := range live {
-		if !used[id] {
-			if err := pool.FreePage(id); err != nil {
-				return nil, fmt.Errorf("lsm: recovery GC of orphan page %d: %w", id, err)
-			}
+		if used[id] || (keep != nil && keep(id)) {
+			continue
+		}
+		if err := pool.FreePage(id); err != nil {
+			return nil, fmt.Errorf("lsm: recovery GC of orphan page %d: %w", id, err)
 		}
 	}
 	return t, nil

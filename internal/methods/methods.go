@@ -22,6 +22,7 @@ import (
 	"repro/internal/skiplist"
 	"repro/internal/storage"
 	"repro/internal/trie"
+	"repro/internal/wal"
 	"repro/internal/workload"
 	"repro/internal/zonemap"
 )
@@ -52,6 +53,17 @@ type Options struct {
 	// each keeps up to Versions published versions readable. The default 0
 	// builds them without snapshot support, exactly as before.
 	Versions int
+	// WAL, when true, builds the catalog's loggable structures (btree,
+	// lsm-level, lsm-tier) behind a write-ahead log (internal/wal): every
+	// mutation is framed into the log before it is acknowledged, upgrading
+	// the durability contract to faults.DurableToCommit. WAL and Versions
+	// are mutually exclusive — the log owns the checkpoint/epoch machinery
+	// the MVCC read path would need to share.
+	WAL bool
+	// CommitBatch is the group-commit knob when WAL is on: the number of
+	// logged records one commit (one simulated sync) amortizes over.
+	// 0 defaults to 1 — sync every mutation.
+	CommitBatch int
 }
 
 func (o *Options) defaults() {
@@ -100,6 +112,34 @@ func NewHash(opt Options, cfg hashindex.Config) *core.Instrumented {
 // NewLSM builds an instrumented LSM tree.
 func NewLSM(opt Options, cfg lsm.Config) *core.Instrumented {
 	return core.Instrument(lsm.New(NewPool(opt, nil), cfg))
+}
+
+// walConfig is the log tuning an Options selects: the caller's group-commit
+// batch, with checkpoints bounding the overlay at a few thousand records so
+// long runs neither hoard memory nor grow an unbounded replay tail.
+func (o Options) walConfig() wal.Config {
+	return wal.Config{CommitBatch: o.CommitBatch, CheckpointEvery: 4096}
+}
+
+// NewWALBTree builds an instrumented write-ahead-logged B+-tree
+// (faults.DurableToCommit).
+func NewWALBTree(opt Options, cfg btree.Config) *core.Instrumented {
+	t, err := wal.NewBTree(NewPool(opt, nil), cfg, opt.walConfig())
+	if err != nil {
+		panic(fmt.Sprintf("methods: wal btree: %v", err))
+	}
+	return core.Instrument(t)
+}
+
+// NewWALLSM builds an instrumented write-ahead-logged LSM tree
+// (faults.DurableToCommit). The log forces the manifest on — its checkpoint
+// barrier is the manifest commit.
+func NewWALLSM(opt Options, cfg lsm.Config) *core.Instrumented {
+	t, err := wal.NewLSM(NewPool(opt, nil), cfg, opt.walConfig())
+	if err != nil {
+		panic(fmt.Sprintf("methods: wal lsm: %v", err))
+	}
+	return core.Instrument(t)
 }
 
 // NewSkiplist builds an instrumented skip list.
@@ -166,8 +206,14 @@ type Spec struct {
 // cast of Figure 1.
 func Catalog(opt Options) []Spec {
 	opt.defaults()
+	if opt.WAL && opt.Versions > 0 {
+		panic("methods: Options.WAL and Options.Versions are mutually exclusive")
+	}
 	return []Spec{
 		{Name: "btree", Corner: rum.ReadOptimized, New: func() *core.Instrumented {
+			if opt.WAL {
+				return NewWALBTree(opt, btree.Config{})
+			}
 			return NewBTree(opt, btree.Config{Versions: opt.Versions})
 		}},
 		{Name: "hash", Corner: rum.ReadOptimized, New: func() *core.Instrumented {
@@ -183,9 +229,15 @@ func Catalog(opt Options) []Spec {
 		// LSM-tree; per-run filters are the Section-5 enhancement whose RUM
 		// effect Figure 3 sweeps explicitly.
 		{Name: "lsm-level", Corner: rum.WriteOptimized, New: func() *core.Instrumented {
+			if opt.WAL {
+				return NewWALLSM(opt, lsm.Config{MemtableRecords: 1024, SizeRatio: 10})
+			}
 			return NewLSM(opt, lsm.Config{MemtableRecords: 1024, SizeRatio: 10, Versions: opt.Versions})
 		}},
 		{Name: "lsm-tier", Corner: rum.WriteOptimized, New: func() *core.Instrumented {
+			if opt.WAL {
+				return NewWALLSM(opt, lsm.Config{MemtableRecords: 1024, SizeRatio: 10, Tiering: true})
+			}
 			return NewLSM(opt, lsm.Config{MemtableRecords: 1024, SizeRatio: 10, Tiering: true, Versions: opt.Versions})
 		}},
 		{Name: "zonemap", Corner: rum.SpaceOptimized, New: func() *core.Instrumented {

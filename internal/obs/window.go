@@ -29,6 +29,35 @@ type ShardPoint struct {
 	// SnapVersions is the shard's retained MVCC snapshot count at this
 	// instant (0 when snapshot serving is off).
 	SnapVersions int `json:"snap_versions,omitempty"`
+	// WAL is the shard's write-ahead-log ledger at this instant; nil when
+	// the shard's structure is not logged.
+	WAL *WALPoint `json:"wal,omitempty"`
+}
+
+// WALPoint mirrors a write-ahead-logged shard's durability counters
+// (wal.Stats plus the committed watermark), kept structure-agnostic the same
+// way ShardPoint mirrors serve.ShardReport.
+type WALPoint struct {
+	// Committed is the records durably group-committed so far — the
+	// watermark the DurableToCommit contract promises back after a crash.
+	Committed uint64 `json:"committed"`
+	// Commits and Syncs count group commits and simulated syncs (one per
+	// commit, one per checkpoint record); their ratio to Committed is the
+	// group-commit amortization.
+	Commits uint64 `json:"commits"`
+	Syncs   uint64 `json:"syncs"`
+	// Checkpoints counts completed checkpoints (overlay absorbed, inner
+	// barrier durable, old log segments recycled).
+	Checkpoints uint64 `json:"checkpoints"`
+	// LogPagesWritten / LogBytesWritten / PagesRecycled count cumulative
+	// appended log traffic and the pages returned after checkpoints.
+	LogPagesWritten uint64 `json:"log_pages_written"`
+	LogBytesWritten uint64 `json:"log_bytes_written"`
+	PagesRecycled   uint64 `json:"pages_recycled"`
+	// LiveLogPages and OverlayRecords are the current footprint: log pages
+	// not yet recycled and overlay entries not yet absorbed.
+	LiveLogPages   int `json:"live_log_pages"`
+	OverlayRecords int `json:"overlay_records"`
 }
 
 // WindowPoint is one instant of a live system: a timestamp, every shard's

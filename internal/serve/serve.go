@@ -44,6 +44,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/rum"
+	"repro/internal/wal"
 )
 
 // Op enumerates the request kinds a shard executes.
@@ -194,6 +195,16 @@ type scanPart struct {
 	out    []core.Record
 }
 
+// Committer is implemented by write-ahead-logged structures (wal.Logged)
+// whose acknowledged mutations become durable only at an explicit group
+// commit. A shard whose structure implements it commits once at the end of
+// every write-carrying mailbox message — the sub-batch is the commit group,
+// so the sync cost is amortized over the whole message for free. Structures
+// without it are unaffected.
+type Committer interface {
+	Commit() error
+}
+
 // completion counts outstanding messages of one client call; the channel
 // closes when the last shard finishes.
 type completion struct {
@@ -225,6 +236,9 @@ type ShardReport struct {
 	// SnapVersions is the structure's retained snapshot version count at
 	// report time (0 when the MVCC read path is off or unsupported).
 	SnapVersions int
+	// WAL is the structure's write-ahead-log ledger (nil when it is not
+	// logged), read on the shard goroutine like every other ledger field.
+	WAL *obs.WALPoint
 	// Err records a shard that died mid-run (a Build or operation panic).
 	// Requests routed to a dead shard complete with zero Results.
 	Err error
@@ -242,6 +256,9 @@ type shard struct {
 	// server-wide flight recorder it offers traces to.
 	rec  *obs.PhaseRecorder
 	slow *obs.SlowLog
+	// commit is the structure's group-commit hook (nil for structures that
+	// are not write-ahead logged), asserted once after Build.
+	commit Committer
 
 	// MVCC state (Config.Snapshots; see mvcc.go). cur and bypassOps are the
 	// reader-facing atomics; everything else is shard-goroutine-owned.
@@ -355,6 +372,7 @@ func (s *Server) runShard(sh *shard) {
 		sh.slow = s.slow
 	}
 	am := s.cfg.Build(sh.id)
+	sh.commit, _ = am.Unwrap().(Committer)
 	if s.cfg.Snapshots {
 		// The first publish (of the freshly built, possibly empty structure)
 		// also probes snapshot support: a structure without it flips the
@@ -374,6 +392,7 @@ func (s *Server) runShard(sh *shard) {
 		Size:         am.Size(),
 		Len:          am.Len(),
 		SnapVersions: sh.snapVersions,
+		WAL:          walLedger(am),
 	}
 	if sh.rec != nil {
 		sh.report.Phases = sh.rec.Snapshot()
@@ -409,20 +428,34 @@ func (sh *shard) apply(am *core.Instrumented, msg message) {
 			}
 			sh.ops += uint64(len(msg.idxs))
 		}
-		if sh.snapEvery > 0 {
+		if sh.commit != nil || sh.snapEvery > 0 {
 			writes := 0
 			for _, i := range msg.idxs {
 				if msg.reqs[i].Op != OpGet {
 					writes++
 				}
 			}
+			// Group commit before the deferred completion fires: when the
+			// completion releases the client, every write it acknowledged OK
+			// is already in the log. A failed commit poisons the log — the
+			// batch's records were acked but not promised durable, and every
+			// later write on this shard fails loudly — so the error is not
+			// re-raised here.
+			if writes > 0 && sh.commit != nil {
+				_ = sh.commit.Commit()
+			}
 			// Republish before the deferred completion fires: strict mode's
 			// read-your-writes rides on this ordering.
-			sh.noteWrites(am, writes)
+			if sh.snapEvery > 0 {
+				sh.noteWrites(am, writes)
+			}
 		}
 	case kindBulk:
 		if err := am.BulkLoad(msg.recs); err != nil {
 			*msg.bulkErr = fmt.Errorf("serve: shard %d bulkload: %w", sh.id, err)
+		}
+		if sh.commit != nil && len(msg.recs) > 0 {
+			_ = sh.commit.Commit()
 		}
 		sh.noteWrites(am, len(msg.recs))
 	case kindFlush:
@@ -451,6 +484,7 @@ func (sh *shard) apply(am *core.Instrumented, msg message) {
 			Size:         am.Size(),
 			Len:          am.Len(),
 			SnapVersions: sh.snapVersions,
+			WAL:          walLedger(am),
 		}
 		if sh.rec != nil {
 			rep.Phases = sh.rec.Snapshot()
@@ -792,6 +826,27 @@ func (s *Server) Stop() ([]ShardReport, error) {
 		}
 	}
 	return reports, err
+}
+
+// walLedger mirrors the structure's log counters into an obs.WALPoint when
+// it is write-ahead logged; nil for every other structure.
+func walLedger(am *core.Instrumented) *obs.WALPoint {
+	lg, ok := am.Unwrap().(*wal.Logged)
+	if !ok {
+		return nil
+	}
+	st := lg.Stats()
+	return &obs.WALPoint{
+		Committed:       lg.Committed(),
+		Commits:         st.Commits,
+		Syncs:           st.Syncs,
+		Checkpoints:     st.Checkpoints,
+		LogPagesWritten: st.LogPagesWritten,
+		LogBytesWritten: st.LogBytesWritten,
+		PagesRecycled:   st.PagesRecycled,
+		LiveLogPages:    st.LiveLogPages,
+		OverlayRecords:  st.OverlayRecords,
+	}
 }
 
 // sortRecords orders recs by key ascending.

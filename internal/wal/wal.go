@@ -1,0 +1,512 @@
+// Package wal adds a write-ahead log — and with it the DurableToCommit
+// contract — on top of the btree and lsm access methods, paying the paper's
+// update-overhead (UO) tax explicitly: every acknowledged mutation is first
+// framed into an append-only log on the shared storage.Device, and a group
+// commit makes a whole batch of mutations durable with a single simulated
+// sync (one log append of freshly allocated pages).
+//
+// # Structure
+//
+// Logged wraps an inner access method (the "structure") with two volatile
+// layers and one durable one:
+//
+//   - pending: mutations appended to the log buffer but not yet committed.
+//     A group commit (Commit, or automatically every CommitBatch records)
+//     encodes them into CRC32-framed log pages and writes those pages to
+//     the device — the records are durable from that point on.
+//   - overlay: every mutation since the last checkpoint, applied to an
+//     in-memory map that shadows the inner structure on reads. The inner
+//     structure itself is NOT touched between checkpoints, so the page
+//     image its last checkpoint left on the device stays intact.
+//   - the inner structure: absorbs the overlay only at a checkpoint
+//     (Flush/Checkpoint), which makes it durable through its own barrier —
+//     btree.CheckpointBarrier for the B+-tree, the manifest commit for the
+//     LSM — then seals a checkpoint record opening a fresh log segment and
+//     recycles every earlier log page.
+//
+// # Log format
+//
+// Each log page is one device page, allocated as auxiliary data:
+//
+//	bytes 0:4    magic "WALP"
+//	bytes 4:8    CRC32 (IEEE) of bytes 8 : 28+used
+//	bytes 8:16   sequence number (uint64, global, monotonic, starts at 1)
+//	bytes 16:24  segment number (uint64, monotonic; the recycling unit)
+//	bytes 24:28  used payload bytes (uint32)
+//	bytes 28:    payload: records, never split across pages
+//
+// Records: upsert = kind 1, key, value (17 bytes); delete = kind 2, key
+// (9 bytes); checkpoint = kind 3, uint16 blob length, blob — an opaque
+// structure-specific anchor (the btree checkpoint root; empty for the LSM,
+// whose manifest is self-anchoring). Log pages are append-only: a page,
+// once written, is never rewritten, so a torn write can only damage pages
+// whose records were never reported committed. Recovery (recover.go) sorts
+// the CRC-valid pages by sequence number, adopts the newest checkpoint
+// record as the anchor, rebuilds the inner structure at that anchor, and
+// replays every later record into the overlay.
+//
+// # Failure discipline
+//
+// A failed commit or checkpoint poisons the log: the error is latched,
+// every later mutation is refused (Insert and Commit return the error,
+// Update and Delete report false), and reads keep serving. This keeps the
+// committed records a strict prefix of the append order — retrying a torn
+// append onto a new page could otherwise interleave durable and lost
+// records. A poisoned log is abandoned, not repaired: recovery from the
+// device image is the only way forward, exactly as after a crash.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"slices"
+
+	"repro/internal/core"
+	"repro/internal/rum"
+	"repro/internal/storage"
+)
+
+const (
+	walMagic  = 0x504C4157 // "WALP"
+	walHeader = 28
+
+	recUpsert     = 1
+	recDelete     = 2
+	recCheckpoint = 3
+
+	upsertSize = 1 + core.KeySize + core.ValueSize
+	deleteSize = 1 + core.KeySize
+)
+
+// Config tunes the log.
+type Config struct {
+	// CommitBatch is the group-commit knob: the number of appended records
+	// that triggers an automatic commit. 1 syncs every mutation (strictest,
+	// most expensive); larger batches amortize one log append + sync over
+	// the whole group, at the price of a longer un-committed tail. 0
+	// defaults to 1. The serving layer additionally commits at the end of
+	// every shard mailbox batch, whichever comes first.
+	CommitBatch int
+	// CheckpointEvery triggers an automatic checkpoint once the overlay
+	// holds this many distinct keys; 0 leaves checkpointing to explicit
+	// Flush calls. Checkpoints bound both the overlay (memory overhead) and
+	// the log length recovery must replay.
+	CheckpointEvery int
+}
+
+func (c *Config) defaults() {
+	if c.CommitBatch <= 0 {
+		c.CommitBatch = 1
+	}
+}
+
+// Stats counts log activity.
+type Stats struct {
+	// Commits counts group commits; Syncs counts simulated syncs (one per
+	// commit and one per checkpoint record) — the denominator of the
+	// group-commit amortization story.
+	Commits, Syncs uint64
+	// Checkpoints counts completed checkpoints (overlay absorbed, inner
+	// barrier done, checkpoint record sealed, old segments recycled).
+	Checkpoints uint64
+	// LogPagesWritten and LogBytesWritten count cumulative appended log
+	// traffic (bytes are header + payload, not page slack).
+	LogPagesWritten, LogBytesWritten uint64
+	// PagesRecycled counts log pages returned to the device after a
+	// checkpoint superseded their segment.
+	PagesRecycled uint64
+	// LiveLogPages and OverlayRecords report the current footprint: log
+	// pages not yet recycled, and overlay entries not yet absorbed.
+	LiveLogPages, OverlayRecords int
+}
+
+// entry is one overlay slot: the newest uncheckpointed version of a key.
+type entry struct {
+	val  core.Value
+	tomb bool
+}
+
+// logRecord is one data record bound for the log.
+type logRecord struct {
+	kind byte
+	key  core.Key
+	val  core.Value
+}
+
+// inner is the structure under the log: a full access method plus the three
+// hooks the checkpoint protocol needs.
+type inner interface {
+	core.AccessMethod
+	// validate rejects values the structure cannot represent (the LSM
+	// tombstone) before they are acknowledged into the log.
+	validate(v core.Value) error
+	// apply installs one overlay entry during a checkpoint.
+	apply(k core.Key, e entry) error
+	// barrier makes the structure's current state durable on the device and
+	// returns the opaque blob the checkpoint record stores to find that
+	// state again at recovery.
+	barrier() ([]byte, error)
+}
+
+// Logged is a write-ahead-logged access method (core.AccessMethod,
+// core.Flusher). Not safe for concurrent use — in the serving layer each
+// shard owns one instance, which is exactly what makes group commit free:
+// the batch is already sitting in the shard's mailbox.
+type Logged struct {
+	in   inner
+	pool *storage.BufferPool
+	cfg  Config
+
+	overlay map[core.Key]entry
+	pending []logRecord
+	count   int // logical record count (estimate under the LSM, like lsm.Len)
+
+	seq       uint64 // last page sequence number issued
+	seg       uint64 // current segment number
+	livePages []storage.PageID
+	committed uint64 // data records durably committed, in append order
+	corrupt   error  // latched first failure: the log is poisoned
+
+	stats Stats
+}
+
+// open wraps a freshly built structure and seals the initial checkpoint so
+// recovery always finds an anchor, even before the first explicit Flush.
+func open(pool *storage.BufferPool, in inner, cfg Config) (*Logged, error) {
+	cfg.defaults()
+	if pool.Device().PageSize()-walHeader < upsertSize+2 {
+		return nil, fmt.Errorf("wal: page size %d too small for log records", pool.Device().PageSize())
+	}
+	l := &Logged{
+		in:      in,
+		pool:    pool,
+		cfg:     cfg,
+		overlay: make(map[core.Key]entry),
+		count:   in.Len(),
+	}
+	if err := l.Checkpoint(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Name identifies the wrapper, its structure, and the group-commit batch.
+func (l *Logged) Name() string {
+	return fmt.Sprintf("wal(%s,b=%d)", l.in.Name(), l.cfg.CommitBatch)
+}
+
+// Len returns the number of live records (an estimate when the inner
+// structure's own count is one, as the LSM's is).
+func (l *Logged) Len() int { return l.count }
+
+// Meter exposes the shared device meter: log appends surface as auxiliary
+// write traffic next to the structure's own page writes.
+func (l *Logged) Meter() *rum.Meter { return l.in.Meter() }
+
+// Stats reports log activity counters.
+func (l *Logged) Stats() Stats {
+	s := l.stats
+	s.LiveLogPages = len(l.livePages)
+	s.OverlayRecords = len(l.overlay)
+	return s
+}
+
+// Committed returns the number of data records made durable so far, in
+// append order: after a crash, the first Committed() acknowledged mutations
+// are guaranteed to survive recovery (faults.Committer — the watermark the
+// DurableToCommit contract is checked against).
+func (l *Logged) Committed() uint64 { return l.committed }
+
+// Poisoned returns the latched error after a failed commit or checkpoint,
+// or nil while the log is healthy.
+func (l *Logged) Poisoned() error { return l.corrupt }
+
+// Size adds the log's footprint to the structure's: live log pages, plus
+// the volatile overlay and pending buffer, count as auxiliary bytes — the
+// memory-overhead side of the durability tax.
+func (l *Logged) Size() rum.SizeInfo {
+	s := l.in.Size()
+	s.AuxBytes += uint64(len(l.livePages)) * uint64(l.pool.Device().PageSize())
+	s.AuxBytes += uint64(len(l.overlay)+len(l.pending)) * core.RecordSize
+	return s
+}
+
+// lookup resolves k through the overlay, then the structure.
+func (l *Logged) lookup(k core.Key) (core.Value, bool) {
+	if e, ok := l.overlay[k]; ok {
+		if e.tomb {
+			return 0, false
+		}
+		return e.val, true
+	}
+	return l.in.Get(k)
+}
+
+// Get returns the value for k and whether it was found.
+func (l *Logged) Get(k core.Key) (core.Value, bool) { return l.lookup(k) }
+
+// Insert adds a new record: append to the log buffer, apply to the overlay,
+// acknowledge. The record becomes durable at the next commit.
+func (l *Logged) Insert(k core.Key, v core.Value) error {
+	if l.corrupt != nil {
+		return l.poisonedErr()
+	}
+	if err := l.in.validate(v); err != nil {
+		return err
+	}
+	if _, ok := l.lookup(k); ok {
+		return core.ErrKeyExists
+	}
+	l.pending = append(l.pending, logRecord{kind: recUpsert, key: k, val: v})
+	l.overlay[k] = entry{val: v}
+	l.count++
+	l.maintain()
+	return nil
+}
+
+// Update modifies an existing record, reporting whether it existed. A
+// poisoned log refuses every mutation.
+func (l *Logged) Update(k core.Key, v core.Value) bool {
+	if l.corrupt != nil || l.in.validate(v) != nil {
+		return false
+	}
+	if _, ok := l.lookup(k); !ok {
+		return false
+	}
+	l.pending = append(l.pending, logRecord{kind: recUpsert, key: k, val: v})
+	l.overlay[k] = entry{val: v}
+	l.maintain()
+	return true
+}
+
+// Delete removes a record, reporting whether it existed.
+func (l *Logged) Delete(k core.Key) bool {
+	if l.corrupt != nil {
+		return false
+	}
+	if _, ok := l.lookup(k); !ok {
+		return false
+	}
+	l.pending = append(l.pending, logRecord{kind: recDelete, key: k})
+	l.overlay[k] = entry{tomb: true}
+	l.count--
+	l.maintain()
+	return true
+}
+
+// RangeScan merges the overlay into the structure's ordered scan: overlay
+// versions shadow structure versions, tombstones hide them, and overlay-only
+// keys are emitted in their key-order position.
+func (l *Logged) RangeScan(lo, hi core.Key, emit func(core.Key, core.Value) bool) int {
+	keys := make([]core.Key, 0, len(l.overlay))
+	for k := range l.overlay {
+		if k >= lo && k <= hi {
+			keys = append(keys, k)
+		}
+	}
+	slices.Sort(keys)
+	i, n := 0, 0
+	stopped := false
+	emitOverlay := func(k core.Key) bool {
+		if e := l.overlay[k]; !e.tomb {
+			n++
+			if !emit(k, e.val) {
+				return false
+			}
+		}
+		return true
+	}
+	l.in.RangeScan(lo, hi, func(k core.Key, v core.Value) bool {
+		for i < len(keys) && keys[i] < k {
+			if !emitOverlay(keys[i]) {
+				stopped = true
+				return false
+			}
+			i++
+		}
+		if i < len(keys) && keys[i] == k {
+			i++
+			if !emitOverlay(k) {
+				stopped = true
+				return false
+			}
+			return true
+		}
+		n++
+		if !emit(k, v) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	for !stopped && i < len(keys) {
+		if !emitOverlay(keys[i]) {
+			break
+		}
+		i++
+	}
+	return n
+}
+
+// maintain runs the automatic commit and checkpoint triggers after a
+// mutation. Failures poison the log rather than un-acknowledge the mutation:
+// the record is in the buffer either way, and the poison guarantees nothing
+// after the failure point is ever reported durable.
+func (l *Logged) maintain() {
+	if l.corrupt == nil && len(l.pending) >= l.cfg.CommitBatch {
+		_ = l.Commit()
+	}
+	if l.corrupt == nil && l.cfg.CheckpointEvery > 0 && len(l.overlay) >= l.cfg.CheckpointEvery {
+		_ = l.Checkpoint()
+	}
+}
+
+// Commit group-commits the pending records: one log append — freshly
+// allocated, CRC-framed, append-only pages — and one simulated sync make the
+// whole batch durable. An empty buffer commits for free.
+func (l *Logged) Commit() error {
+	if l.corrupt != nil {
+		return l.poisonedErr()
+	}
+	if len(l.pending) == 0 {
+		return nil
+	}
+	per := l.pool.Device().PageSize() - walHeader
+	payload := make([]byte, 0, per)
+	flush := func() error {
+		if len(payload) == 0 {
+			return nil
+		}
+		id, err := l.appendPage(payload)
+		if err != nil {
+			return err
+		}
+		l.livePages = append(l.livePages, id)
+		payload = payload[:0]
+		return nil
+	}
+	for _, r := range l.pending {
+		need := deleteSize
+		if r.kind == recUpsert {
+			need = upsertSize
+		}
+		if len(payload)+need > per {
+			if err := flush(); err != nil {
+				l.poison(err)
+				return err
+			}
+		}
+		payload = append(payload, r.kind)
+		payload = binary.LittleEndian.AppendUint64(payload, r.key)
+		if r.kind == recUpsert {
+			payload = binary.LittleEndian.AppendUint64(payload, r.val)
+		}
+	}
+	if err := flush(); err != nil {
+		l.poison(err)
+		return err
+	}
+	l.committed += uint64(len(l.pending))
+	l.pending = l.pending[:0]
+	l.stats.Commits++
+	l.stats.Syncs++
+	return nil
+}
+
+// Checkpoint absorbs the overlay into the inner structure, makes the
+// structure durable through its barrier, seals a checkpoint record that
+// opens a fresh log segment, and only then recycles every earlier log page.
+// The happens-before chain is strict: records committed, overlay applied,
+// barrier durable, checkpoint record durable, old segments freed — a crash
+// between any two steps leaves the previous checkpoint authoritative and
+// every committed record still replayable.
+func (l *Logged) Checkpoint() error {
+	if l.corrupt != nil {
+		return l.poisonedErr()
+	}
+	if err := l.Commit(); err != nil {
+		return err
+	}
+	keys := make([]core.Key, 0, len(l.overlay))
+	for k := range l.overlay {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys) // deterministic structure shape regardless of map order
+	for _, k := range keys {
+		if err := l.in.apply(k, l.overlay[k]); err != nil {
+			l.poison(err)
+			return err
+		}
+	}
+	blob, err := l.in.barrier()
+	if err != nil {
+		l.poison(err)
+		return err
+	}
+	per := l.pool.Device().PageSize() - walHeader
+	if len(blob) > per-3 || len(blob) > 1<<16-1 {
+		err := fmt.Errorf("wal: checkpoint blob of %d bytes does not fit a log page", len(blob))
+		l.poison(err)
+		return err
+	}
+	l.seg++
+	payload := make([]byte, 0, 3+len(blob))
+	payload = append(payload, recCheckpoint)
+	payload = binary.LittleEndian.AppendUint16(payload, uint16(len(blob)))
+	payload = append(payload, blob...)
+	old := l.livePages
+	id, err := l.appendPage(payload)
+	if err != nil {
+		l.poison(err)
+		return err
+	}
+	l.stats.Syncs++
+	l.livePages = []storage.PageID{id}
+	// Recycle: every log page of earlier segments is superseded by the
+	// checkpoint record. Through the pool, so cached frames are evicted too.
+	for _, p := range old {
+		if l.pool.FreePage(p) == nil {
+			l.stats.PagesRecycled++
+		}
+	}
+	clear(l.overlay)
+	l.stats.Checkpoints++
+	return nil
+}
+
+// Flush checkpoints (core.Flusher). Errors poison the log and surface on
+// the next mutation or Commit.
+func (l *Logged) Flush() { _ = l.Checkpoint() }
+
+// appendPage frames payload into a fresh log page and writes it to the
+// device. The sequence number is consumed even on failure — sequence order
+// is append order, holes included.
+func (l *Logged) appendPage(payload []byte) (storage.PageID, error) {
+	dev := l.pool.Device()
+	page := make([]byte, dev.PageSize())
+	l.seq++
+	binary.LittleEndian.PutUint32(page[0:4], walMagic)
+	binary.LittleEndian.PutUint64(page[8:16], l.seq)
+	binary.LittleEndian.PutUint64(page[16:24], l.seg)
+	binary.LittleEndian.PutUint32(page[24:28], uint32(len(payload)))
+	copy(page[walHeader:], payload)
+	binary.LittleEndian.PutUint32(page[4:8], crc32.ChecksumIEEE(page[8:walHeader+len(payload)]))
+	id := dev.Alloc(rum.Aux)
+	if err := dev.Write(id, page); err != nil {
+		return id, err
+	}
+	l.stats.LogPagesWritten++
+	l.stats.LogBytesWritten += uint64(walHeader + len(payload))
+	return id, nil
+}
+
+func (l *Logged) poison(err error) {
+	if l.corrupt == nil {
+		l.corrupt = err
+	}
+}
+
+func (l *Logged) poisonedErr() error {
+	return fmt.Errorf("wal: log poisoned by earlier failure: %w", l.corrupt)
+}
