@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race racecheck bench golden chaos-smoke serve-smoke serve-live-smoke mvcc-smoke mvcc-race wal-smoke
+.PHONY: check build vet test race racecheck bench golden chaos-smoke serve-smoke serve-live-smoke mvcc-smoke mvcc-race wal-smoke qdsweep-smoke
 
 ## check: the full gate — build, vet, race-enabled tests, and the
 ## single-owner assertion build.
@@ -78,6 +78,17 @@ wal-smoke:
 	$(GO) run ./cmd/rumbench -exp walsweep -quick -n 2048 -ops 1000 \
 		-parallel 8 >/tmp/wal-par.txt
 	diff /tmp/wal-seq.txt /tmp/wal-par.txt
+
+## qdsweep-smoke: the queue-depth determinism gate — the qdsweep experiment
+## (batched I/O on the multi-queue SSD: ops/kcost, batch ledger, achieved
+## depth, re-ranking summary) must render byte-identical stdout at any pool
+## width.
+qdsweep-smoke:
+	$(GO) run ./cmd/rumbench -exp qdsweep -quick -n 2048 -ops 1000 \
+		-parallel 1 >/tmp/qd-seq.txt
+	$(GO) run ./cmd/rumbench -exp qdsweep -quick -n 2048 -ops 1000 \
+		-parallel 8 >/tmp/qd-par.txt
+	diff /tmp/qd-seq.txt /tmp/qd-par.txt
 
 ## mvcc-race: the single-writer/many-reader packages under the race
 ## detector alone — quicker signal than the full `race` target when

@@ -62,7 +62,7 @@ import (
 )
 
 // knownExps lists every experiment name, in run order.
-var knownExps = []string{"props", "table1", "fig1", "fig2", "fig3", "conjecture", "adaptive", "extensions", "chaos", "serve", "mvcc", "walsweep"}
+var knownExps = []string{"props", "table1", "fig1", "fig2", "fig3", "conjecture", "adaptive", "extensions", "chaos", "serve", "mvcc", "walsweep", "qdsweep"}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -221,6 +221,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 				c.Ops = 8000
 			}
 			return bench.RunWALSweep(c).Render()
+		}),
+		"qdsweep": quiet(func(c bench.Config) string {
+			if c.N == 0 {
+				c.N = 16384
+			}
+			if c.Ops == 0 {
+				c.Ops = 8000
+			}
+			return bench.RunQDSweep(c).Render()
 		}),
 		"serve": func(c bench.Config) (string, string) {
 			if c.N == 0 {

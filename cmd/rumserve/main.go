@@ -87,7 +87,12 @@ type config struct {
 	batch   int
 	n       int
 	pool    int
-	rate    float64
+	// medium is the simulated storage medium under every shard. On a
+	// multi-queue medium (mqssd) each shard's pool submits batched I/O and
+	// /metrics gains the rum_live_batch_* families.
+	medium     storage.Medium
+	mediumSpec string
+	rate       float64
 	mix     bench.ServeMix
 	mixSpec string
 	seed    int64
@@ -113,6 +118,15 @@ type config struct {
 type atomicHook struct {
 	reads, writes                  atomic.Uint64
 	faults, torn, crashes, retries atomic.Uint64
+	batches, batchedPages          atomic.Uint64
+}
+
+// StorageBatch implements storage.BatchHook: on a multi-queue medium each
+// shard pool's amortized submissions land here. The per-page events of the
+// batch have already arrived through StorageEvent.
+func (h *atomicHook) StorageBatch(_ bool, pages, _ int, _ uint64) {
+	h.batches.Add(1)
+	h.batchedPages.Add(uint64(pages))
 }
 
 // teeHook fans one shard's storage events out to the process-wide atomic
@@ -128,6 +142,13 @@ type teeHook struct {
 func (t teeHook) StorageEvent(ev storage.Event, id storage.PageID, class rum.Class, cost uint64) {
 	t.global.StorageEvent(ev, id, class, cost)
 	t.shard.StorageEvent(ev, id, class, cost)
+}
+
+// StorageBatch implements storage.BatchHook, feeding the process-wide batch
+// counters. The shard's phase recorder already saw the batch's per-page
+// events through StorageEvent, so only the global sink needs the summary.
+func (t teeHook) StorageBatch(write bool, pages, depth int, cost uint64) {
+	t.global.StorageBatch(write, pages, depth, cost)
 }
 
 // StorageEvent implements storage.Hook.
@@ -220,7 +241,7 @@ func newDaemon(cfg config) (*daemon, error) {
 		stopCh: make(chan struct{}),
 		start:  time.Now(),
 	}
-	opt := methods.Options{PoolPages: cfg.pool, Hook: d.hook}
+	opt := methods.Options{PoolPages: cfg.pool, Medium: cfg.medium, Hook: d.hook}
 	if cfg.mvcc {
 		opt.Versions = mvccRetention
 	}
@@ -564,6 +585,15 @@ func (d *daemon) collectMetrics(e *obs.Encoder) {
 	e.Uint("rum_fault_events_total", obs.L("event", "torn"), d.hook.torn.Load())
 	e.Uint("rum_fault_events_total", obs.L("event", "crash"), d.hook.crashes.Load())
 	e.Uint("rum_fault_events_total", obs.L("event", "retry"), d.hook.retries.Load())
+
+	// Batch families only exist on a multi-queue medium: the default (flat)
+	// scrape stays byte-identical to builds without batched I/O.
+	if d.cfg.medium.Model().Channels > 1 {
+		e.Family("rum_live_batch_submissions_total", "counter", "Amortized batch submissions across all shards.")
+		e.Uint("rum_live_batch_submissions_total", nil, d.hook.batches.Load())
+		e.Family("rum_live_batched_pages_total", "counter", "Pages carried by amortized batch submissions across all shards.")
+		e.Uint("rum_live_batched_pages_total", nil, d.hook.batchedPages.Load())
+	}
 }
 
 // debugRUM is the /debug/rum JSON document.
@@ -748,6 +778,7 @@ func run(args []string, stdout, stderr io.Writer, testSignal <-chan struct{}) in
 	fs.IntVar(&cfg.batch, "batch", 64, "requests per client batch")
 	fs.IntVar(&cfg.n, "n", 16384, "records to preload")
 	fs.IntVar(&cfg.pool, "pool", 8, "buffer pool pages per shard")
+	fs.StringVar(&cfg.mediumSpec, "medium", "ram", "storage medium per shard: ram, ssd, hdd, smr, or mqssd (multi-queue: shard pools submit batched I/O)")
 	fs.Float64Var(&cfg.rate, "rate", 0, "target requests/second across all clients (0 = unthrottled)")
 	fs.StringVar(&cfg.mixSpec, "mix", "", "operation mix, e.g. get=0.5,insert=0.2,update=0.15,delete=0.15,getmiss=0.1 (empty = serve experiment default)")
 	fs.Int64Var(&cfg.seed, "seed", 1, "deterministic workload seed")
@@ -782,6 +813,9 @@ func run(args []string, stdout, stderr io.Writer, testSignal <-chan struct{}) in
 	}
 	if cfg.plan, err = faults.ParsePlan(faultSpec); err != nil {
 		return badFlag("-faults: %v", err)
+	}
+	if cfg.medium, err = storage.ParseMedium(cfg.mediumSpec); err != nil {
+		return badFlag("-medium: %v", err)
 	}
 	switch {
 	case cfg.shards < 1:
@@ -827,6 +861,10 @@ func run(args []string, stdout, stderr io.Writer, testSignal <-chan struct{}) in
 	if cfg.wal {
 		fmt.Fprintf(stderr, "rumserve: write-ahead logging on (commit batch %d, durable to commit)\n",
 			cfg.commitBatch)
+	}
+	if m := cfg.medium.Model(); m.Channels > 1 {
+		fmt.Fprintf(stderr, "rumserve: multi-queue medium %s (read %d, write %d, %d channels; shard pools batch I/O)\n",
+			cfg.medium, m.ReadCost, m.WriteCost, m.Channels)
 	}
 
 	httpSrv := &http.Server{Handler: d.handler()}

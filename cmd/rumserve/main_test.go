@@ -244,6 +244,7 @@ func TestRunFlagErrors(t *testing.T) {
 		{"unknown mix preset", []string{"-mix", "read42"}, 2},
 		{"bad staleness", []string{"-staleness", "0"}, 2},
 		{"bad faults", []string{"-faults", "bogus"}, 2},
+		{"bad medium", []string{"-medium", "floppy"}, 2},
 		{"positional args", []string{"extra"}, 2},
 		{"bad shards", []string{"-shards", "0"}, 2},
 		{"negative shards", []string{"-shards", "-3"}, 2},

@@ -375,10 +375,29 @@ func (t *Tree) buildRun(recs []core.Record) (*run, error) {
 	return r, nil
 }
 
-// readRun reads every record of a run in order, charging page reads.
+// readRun reads every record of a run in order, charging page reads. On a
+// multi-queue device the run is streamed through the pool's readahead
+// window: each IOBatch-sized chunk of run pages is prefetched as one deep
+// batch submission, so sequential run scans (compaction inputs, range
+// merges) pay the amortized batch cost instead of depth-1 reads. On flat
+// media Readahead is a no-op and the loop below is exactly the old path.
 func (t *Tree) readRun(r *run) ([]core.Record, error) {
 	recs := make([]core.Record, 0, r.count)
-	for _, pid := range r.pages {
+	ra, next := t.pool.IOBatch(), 0
+	for i, pid := range r.pages {
+		if ra > 1 && i == next {
+			end := i + ra
+			if end > len(r.pages) {
+				end = len(r.pages)
+			}
+			// Advance the window by what the pool actually covered (it clamps
+			// a prefetch to half its capacity); already-cached pages are
+			// skipped by Readahead, so a short answer just re-arms sooner.
+			next = i + t.pool.Readahead(r.pages[i:end])
+			if next <= i {
+				next = i + 1
+			}
+		}
 		f, err := t.pool.Fetch(pid)
 		if err != nil {
 			return nil, err

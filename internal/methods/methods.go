@@ -34,8 +34,13 @@ type Options struct {
 	// PoolPages is the buffer pool capacity — the MEM parameter of Table 1
 	// (default 64).
 	PoolPages int
-	// Medium is the simulated storage technology (default SSD).
+	// Medium is the simulated storage technology (the zero value is RAM).
 	Medium storage.Medium
+	// IOBatch overrides the buffer pool's batch-submission width: how many
+	// pages one vectored write-back or readahead submits together. 0 keeps
+	// the pool default — the medium's channel parallelism, so multi-queue
+	// media batch out of the box and flat media stay on exact per-page I/O.
+	IOBatch int
 	// Hook, when non-nil, observes every page event of every device and
 	// buffer pool built through this Options (e.g. an *obs.Observer). The
 	// default nil keeps the storage hot path untraced.
@@ -86,6 +91,9 @@ func NewPool(opt Options, meter *rum.Meter) *storage.BufferPool {
 	}
 	if opt.Faults.Active() {
 		dev.SetInjector(faults.New(opt.Faults))
+	}
+	if opt.IOBatch > 0 {
+		pool.SetIOBatch(opt.IOBatch)
 	}
 	pool.SetRetryBudget(opt.RetryBudget)
 	return pool

@@ -34,6 +34,11 @@ type SpanJSON struct {
 	TornWrites uint64 `json:"torn_writes,omitempty"`
 	Crashes    uint64 `json:"crashes,omitempty"`
 	Retries    uint64 `json:"retries,omitempty"`
+	FaultCost  uint64 `json:"fault_cost_units,omitempty"`
+	// Batch-submission counters are likewise omitted when zero, keeping
+	// flat-media traces byte-identical to pre-batching ones.
+	Batches      uint64 `json:"batches,omitempty"`
+	BatchedPages uint64 `json:"batched_pages,omitempty"`
 }
 
 // ToJSON converts a span to its export form.
@@ -61,6 +66,9 @@ func (s Span) ToJSON() SpanJSON {
 		TornWrites:     s.Pages.TornWrites,
 		Crashes:        s.Pages.Crashes,
 		Retries:        s.Pages.Retries,
+		FaultCost:      s.Pages.FaultCost,
+		Batches:        s.Pages.Batches,
+		BatchedPages:   s.Pages.BatchedPages,
 	}
 }
 
@@ -135,8 +143,17 @@ func (o *Observer) CollectMetrics(e *Encoder) {
 	e.Uint("rum_fault_events_total", L("event", "crash"), o.total.Crashes)
 	e.Uint("rum_fault_events_total", L("event", "retry"), o.total.Retries)
 
-	e.Family("rum_cost_units_total", "counter", "Medium-weighted cost units observed.")
+	e.Family("rum_cost_units_total", "counter", "Medium-weighted cost units observed (successful traffic; reconciles with DeviceStats.CostUnits).")
 	e.Uint("rum_cost_units_total", nil, o.total.Cost)
+
+	e.Family("rum_fault_cost_units_total", "counter", "Medium-weighted cost of failed operations (EvFault/EvTorn/EvCrash payloads); counted apart from rum_cost_units_total.")
+	e.Uint("rum_fault_cost_units_total", nil, o.total.FaultCost)
+
+	e.Family("rum_batch_submissions_total", "counter", "Amortized batch submissions observed (multi-queue media only).")
+	e.Uint("rum_batch_submissions_total", nil, o.total.Batches)
+
+	e.Family("rum_batched_pages_total", "counter", "Pages carried by amortized batch submissions.")
+	e.Uint("rum_batched_pages_total", nil, o.total.BatchedPages)
 
 	e.Family("rum_traced_bytes_total", "counter", "Bytes accumulated by traced spans, by kind, direction, and class.")
 	e.Uint("rum_traced_bytes_total", L("kind", "physical", "dir", "read", "class", "base"), o.traced.BaseRead)

@@ -65,6 +65,17 @@ type PageCounts struct {
 	TornWrites uint64
 	Crashes    uint64
 	Retries    uint64
+	// FaultCost is the medium-weighted cost of failed operations (the cost
+	// payload of EvFault/EvTorn/EvCrash events). It is kept out of Cost so
+	// Cost reconciles exactly with DeviceStats.CostUnits, which counts
+	// successful traffic only.
+	FaultCost uint64
+	// Batches counts amortized batch submissions (storage.BatchHook events);
+	// BatchedPages is the pages they carried. The per-page events of a batch
+	// are already in the read/write counters and Cost — these two only
+	// describe how the traffic was submitted.
+	Batches      uint64
+	BatchedPages uint64
 }
 
 // Reads returns total device page reads (base + aux).
@@ -91,10 +102,21 @@ func (c *PageCounts) Merge(o PageCounts) {
 	c.TornWrites += o.TornWrites
 	c.Crashes += o.Crashes
 	c.Retries += o.Retries
+	c.FaultCost += o.FaultCost
+	c.Batches += o.Batches
+	c.BatchedPages += o.BatchedPages
 }
 
 func (c *PageCounts) add(ev storage.Event, class rum.Class, cost uint64) {
-	c.Cost += cost
+	switch ev {
+	case storage.EvFault, storage.EvTorn, storage.EvCrash:
+		// Failed operations count no device traffic; their cost payload is
+		// the attempted cost, ledgered separately so Cost stays equal to
+		// the device's CostUnits.
+		c.FaultCost += cost
+	default:
+		c.Cost += cost
+	}
 	switch ev {
 	case storage.EvRead:
 		if class == rum.Base {
@@ -295,6 +317,22 @@ func (o *Observer) StorageEvent(ev storage.Event, _ storage.PageID, class rum.Cl
 		o.pages.add(ev, class, cost)
 	} else {
 		o.untraced.add(ev, class, cost)
+	}
+}
+
+// StorageBatch implements storage.BatchHook: one amortized batch submission,
+// attributed like any page event. The batch's per-page events arrived first
+// (the BatchHook contract), so totals already hold its traffic and cost —
+// this records only the submission shape (count and pages carried).
+func (o *Observer) StorageBatch(_ bool, pages, _ int, _ uint64) {
+	o.total.Batches++
+	o.total.BatchedPages += uint64(pages)
+	if o.depth > 0 {
+		o.pages.Batches++
+		o.pages.BatchedPages += uint64(pages)
+	} else {
+		o.untraced.Batches++
+		o.untraced.BatchedPages += uint64(pages)
 	}
 }
 

@@ -1,0 +1,569 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/rum"
+)
+
+// batchRecorder is a recorder that also captures batch submissions.
+type batchRecorder struct {
+	recorder
+	batches []recordedBatch
+}
+
+type recordedBatch struct {
+	Write bool
+	Pages int
+	Depth int
+	Cost  uint64
+}
+
+func (r *batchRecorder) StorageBatch(write bool, pages, depth int, cost uint64) {
+	r.batches = append(r.batches, recordedBatch{write, pages, depth, cost})
+}
+
+func allocN(t *testing.T, d *Device, n int, c rum.Class) []PageID {
+	t.Helper()
+	ids := make([]PageID, n)
+	for i := range ids {
+		ids[i] = d.Alloc(c)
+	}
+	return ids
+}
+
+// TestBatchCostModel pins the charging rule: a batch of n pages costs
+// ceil(n/channels) waves of the per-page service time, and the achieved
+// depth clamps at the channel limit.
+func TestBatchCostModel(t *testing.T) {
+	m := MQSSD.Model() // read 4, write 20, 8 channels
+	cases := []struct {
+		n     int
+		read  uint64
+		write uint64
+		depth int
+	}{
+		{1, 4, 20, 1},
+		{7, 4, 20, 7},
+		{8, 4, 20, 8},
+		{9, 8, 40, 8},
+		{16, 8, 40, 8},
+		{17, 12, 60, 8},
+		{64, 32, 160, 8},
+	}
+	for _, c := range cases {
+		if got := m.BatchCost(c.n, false); got != c.read {
+			t.Fatalf("BatchCost(%d, read) = %d, want %d", c.n, got, c.read)
+		}
+		if got := m.BatchCost(c.n, true); got != c.write {
+			t.Fatalf("BatchCost(%d, write) = %d, want %d", c.n, got, c.write)
+		}
+		if got := m.Depth(c.n); got != c.depth {
+			t.Fatalf("Depth(%d) = %d, want %d", c.n, got, c.depth)
+		}
+	}
+	// Flat media: a batch prices exactly like sequential accesses.
+	flat := SSD.Model()
+	if got := flat.BatchCost(16, true); got != 16*flat.WriteCost {
+		t.Fatalf("flat batch cost %d, want %d", got, 16*flat.WriteCost)
+	}
+}
+
+// TestDeviceBatchCharging drives ReadBatch/WriteBatch on an MQSSD and checks
+// the ledger: batch cost at achieved depth, per-page event cost shares that
+// sum exactly to it, and the batch counters.
+func TestDeviceBatchCharging(t *testing.T) {
+	rec := &batchRecorder{}
+	d := NewDevice(64, MQSSD, nil)
+	d.SetHook(rec)
+	ids := allocN(t, d, 12, rum.Base)
+
+	data := make([][]byte, len(ids))
+	for i := range data {
+		data[i] = bytes.Repeat([]byte{byte(i + 1)}, 64)
+	}
+	if err := d.WriteBatch(ids, data); err != nil {
+		t.Fatal(err)
+	}
+	// 12 pages over 8 channels: 2 waves of write cost 20 → 40 units.
+	if st := d.Stats(); st.PageWrites != 12 || st.CostUnits != 40 || st.Batches != 1 || st.BatchedPages != 12 {
+		t.Fatalf("write batch stats: %+v", st)
+	}
+	pages, err := d.ReadBatch(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pg := range pages {
+		if pg[0] != byte(i+1) {
+			t.Fatalf("page %d contents %x", i, pg[0])
+		}
+	}
+	// 12 reads: 2 waves of read cost 4 → 8 more units.
+	if st := d.Stats(); st.PageReads != 12 || st.CostUnits != 48 || st.Batches != 2 || st.BatchedPages != 24 {
+		t.Fatalf("read batch stats: %+v", st)
+	}
+
+	// Per-page event shares sum exactly to each batch's cost, and the batch
+	// events arrive after their pages with the achieved depth.
+	var wrote, read uint64
+	for _, e := range rec.events {
+		switch e.Ev {
+		case EvWrite:
+			wrote += e.Cost
+		case EvRead:
+			read += e.Cost
+		}
+	}
+	if wrote != 40 || read != 8 {
+		t.Fatalf("event cost shares: write %d read %d", wrote, read)
+	}
+	want := []recordedBatch{{true, 12, 8, 40}, {false, 12, 8, 8}}
+	if len(rec.batches) != len(want) {
+		t.Fatalf("batch events: %+v", rec.batches)
+	}
+	for i, b := range rec.batches {
+		if b != want[i] {
+			t.Fatalf("batch event %d: %+v want %+v", i, b, want[i])
+		}
+	}
+}
+
+// TestBatchSequentialEquivalence checks the fallback contract: on flat media,
+// and on any media with an injector armed, batch calls are exactly equivalent
+// to per-page calls — same stats, same cost, no batch accounting.
+func TestBatchSequentialEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		medium Medium
+		arm    bool
+	}{
+		{"flat-ssd", SSD, false},
+		{"mqssd-injector", MQSSD, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			batched := NewDevice(64, tc.medium, nil)
+			plain := NewDevice(64, tc.medium, nil)
+			if tc.arm {
+				batched.SetInjector(&scriptInjector{})
+				plain.SetInjector(&scriptInjector{})
+			}
+			ids := allocN(t, batched, 6, rum.Base)
+			allocN(t, plain, 6, rum.Base)
+			data := make([][]byte, len(ids))
+			for i := range data {
+				data[i] = bytes.Repeat([]byte{byte(i)}, 64)
+			}
+			if err := batched.WriteBatch(ids, data); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := batched.ReadBatch(ids); err != nil {
+				t.Fatal(err)
+			}
+			for i, id := range ids {
+				if err := plain.Write(id, data[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, id := range ids {
+				if _, err := plain.Read(id); err != nil {
+					t.Fatal(err)
+				}
+			}
+			bs, ps := batched.Stats(), plain.Stats()
+			if bs != ps {
+				t.Fatalf("batched stats %+v diverge from sequential %+v", bs, ps)
+			}
+			if bs.Batches != 0 || bs.BatchedPages != 0 {
+				t.Fatalf("sequential fallback counted batches: %+v", bs)
+			}
+		})
+	}
+}
+
+// TestBatchValidation: a bad page or short image fails the whole batch
+// before any traffic is counted or any page image changes.
+func TestBatchValidation(t *testing.T) {
+	d := NewDevice(64, MQSSD, nil)
+	ids := allocN(t, d, 3, rum.Base)
+	good := [][]byte{make([]byte, 64), make([]byte, 64), make([]byte, 64)}
+	if err := d.WriteBatch(ids, good[:2]); err == nil {
+		t.Fatal("mismatched batch accepted")
+	}
+	bad := [][]byte{good[0], make([]byte, 10), good[2]}
+	if err := d.WriteBatch(ids, bad); err == nil {
+		t.Fatal("short image accepted")
+	}
+	if _, err := d.ReadBatch([]PageID{ids[0], 99, ids[2]}); !errors.Is(err, ErrBadPage) {
+		t.Fatalf("bad page in batch: %v", err)
+	}
+	if st := d.Stats(); st.PageReads != 0 || st.PageWrites != 0 || st.CostUnits != 0 {
+		t.Fatalf("failed batch counted traffic: %+v", st)
+	}
+}
+
+// TestFetchFailureNotCountedAsMiss is the satellite-1 regression: a fetch
+// whose device read fails must count a FetchFailure, not a miss, so HitRatio
+// is a statement about served requests only.
+func TestFetchFailureNotCountedAsMiss(t *testing.T) {
+	rec := &recorder{}
+	d := NewDevice(64, RAM, nil)
+	p := NewBufferPool(d, 4)
+	p.SetHook(rec)
+	a := d.Alloc(rum.Base)
+	d.SetInjector(&scriptInjector{failRead: map[uint64]error{1: permanent()}})
+	if _, err := p.Fetch(a); !errors.Is(err, ErrInjected) {
+		t.Fatalf("fetch: %v", err)
+	}
+	st := p.Stats()
+	if st.Misses != 0 || st.FetchFailures != 1 {
+		t.Fatalf("failed fetch miscounted: %+v", st)
+	}
+	if got := rec.count(EvMiss); got != 0 {
+		t.Fatalf("failed fetch emitted %d EvMiss", got)
+	}
+	if st.HitRatio() != 0 {
+		t.Fatalf("hit ratio after failed fetch: %v", st.HitRatio())
+	}
+	// The recovery fetch counts the miss — exactly one, matching exactly one
+	// successful device read.
+	f, err := p.Fetch(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release(f)
+	st = p.Stats()
+	if st.Misses != 1 || st.FetchFailures != 1 {
+		t.Fatalf("recovery fetch ledger: %+v", st)
+	}
+	if d.Stats().PageReads != st.Misses {
+		t.Fatalf("misses (%d) diverge from device reads (%d)", st.Misses, d.Stats().PageReads)
+	}
+}
+
+// TestFailureEventCosts is the satellite-2/3 regression: every injected
+// failure routes through one path and its events carry the attempted
+// operation's weighted cost — including the torn-write crash, which used to
+// emit a hand-rolled EvCrash with cost 0.
+func TestFailureEventCosts(t *testing.T) {
+	rec := &recorder{}
+	d := NewDevice(64, SSD, nil)
+	d.SetHook(rec)
+	id := d.Alloc(rum.Base)
+
+	// Clean write fault: one EvFault at write cost.
+	d.SetInjector(&scriptInjector{failWrite: map[uint64]error{1: permanent()}})
+	if err := d.Write(id, make([]byte, 64)); err == nil {
+		t.Fatal("expected fault")
+	}
+	if len(rec.events) != 1 || rec.events[0] != (recordedEvent{EvFault, id, rum.Base, 20}) {
+		t.Fatalf("write fault events: %+v", rec.events)
+	}
+
+	// Torn write without crash: one EvTorn at write cost.
+	rec.events = nil
+	d.SetInjector(&scriptInjector{
+		failWrite: map[uint64]error{1: transient()},
+		tornAt:    map[uint64]int{1: 8},
+	})
+	if err := d.Write(id, make([]byte, 64)); !errors.Is(err, ErrTransient) {
+		t.Fatalf("torn write: %v", err)
+	}
+	if len(rec.events) != 1 || rec.events[0] != (recordedEvent{EvTorn, id, rum.Base, 20}) {
+		t.Fatalf("torn write events: %+v", rec.events)
+	}
+
+	// Torn write at a crash point: EvTorn then EvCrash, both at write cost,
+	// and the device latches.
+	rec.events = nil
+	d.SetInjector(&scriptInjector{
+		failWrite: map[uint64]error{1: crashErr()},
+		tornAt:    map[uint64]int{1: 8},
+	})
+	if err := d.Write(id, make([]byte, 64)); !errors.Is(err, ErrCrash) {
+		t.Fatalf("torn crash write: %v", err)
+	}
+	wantTornCrash := []recordedEvent{
+		{EvTorn, id, rum.Base, 20},
+		{EvCrash, id, rum.Base, 20},
+	}
+	if len(rec.events) != 2 || rec.events[0] != wantTornCrash[0] || rec.events[1] != wantTornCrash[1] {
+		t.Fatalf("torn crash events: %+v", rec.events)
+	}
+	if !d.Crashed() {
+		t.Fatal("torn crash did not latch the device")
+	}
+	// No failure counted any traffic.
+	if st := d.Stats(); st.PageWrites != 0 || st.CostUnits != 0 {
+		t.Fatalf("failures counted traffic: %+v", st)
+	}
+}
+
+// TestCloneCarriesCostModel is the satellite-5 coverage: a cloned MQSSD
+// charges batches exactly like its template.
+func TestCloneCarriesCostModel(t *testing.T) {
+	d := NewDevice(64, MQSSD, nil)
+	allocN(t, d, 16, rum.Base)
+	c := d.Clone(nil)
+	if c.Medium() != MQSSD {
+		t.Fatalf("clone medium %v", c.Medium())
+	}
+	if cm := c.CostModel(); cm != d.CostModel() || cm.Channels != 8 {
+		t.Fatalf("clone cost model %+v, template %+v", cm, d.CostModel())
+	}
+	before := c.Stats().CostUnits
+	if _, err := c.ReadBatch(c.LivePageIDs()); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().CostUnits - before; got != 8 { // 16 pages / 8 channels = 2 waves of 4
+		t.Fatalf("clone batch read cost %d, want 8", got)
+	}
+	if c.Stats().Batches != d.Stats().Batches+1 {
+		t.Fatalf("clone batch counter: %d", c.Stats().Batches)
+	}
+}
+
+// TestPoolBatchedFlushAll: on a multi-queue device the pool drains dirty
+// frames in IOBatch-sized submissions, in LRU order, with the same
+// write-back ledger as the per-page path.
+func TestPoolBatchedFlushAll(t *testing.T) {
+	rec := &batchRecorder{}
+	d := NewDevice(64, MQSSD, nil)
+	p := NewBufferPool(d, 16)
+	d.SetHook(rec)
+	p.SetHook(rec)
+	if p.IOBatch() != 8 {
+		t.Fatalf("default IOBatch on MQSSD: %d", p.IOBatch())
+	}
+	var ids []PageID
+	for i := 0; i < 12; i++ {
+		f, err := p.NewPage(rum.Base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Data()[0] = byte(i + 1)
+		ids = append(ids, f.ID())
+		p.Release(f)
+	}
+	p.FlushAll()
+	st := p.Stats()
+	if st.WriteBacks != 12 || p.DirtyCount() != 0 {
+		t.Fatalf("batched flush ledger: %+v dirty=%d", st, p.DirtyCount())
+	}
+	// 12 dirty frames drain as one 8-page and one 4-page submission:
+	// 1 wave of 20 + 1 wave of 20 = 40 cost units, against 240 per-page.
+	if got := d.Stats().CostUnits; got != 40 {
+		t.Fatalf("batched flush cost %d, want 40", got)
+	}
+	if d.Stats().Batches != 2 || d.Stats().BatchedPages != 12 {
+		t.Fatalf("batched flush submissions: %+v", d.Stats())
+	}
+	// Write order is LRU order: oldest page first.
+	var order []PageID
+	for _, e := range rec.events {
+		if e.Ev == EvWrite {
+			order = append(order, e.ID)
+		}
+	}
+	if len(order) != 12 {
+		t.Fatalf("writes: %d", len(order))
+	}
+	for i, id := range order {
+		if id != ids[i] {
+			t.Fatalf("write order %v, want LRU order %v", order, ids)
+		}
+	}
+	// The device image carries the frame contents.
+	for i, id := range ids {
+		pg, err := d.Read(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pg[0] != byte(i+1) {
+			t.Fatalf("page %d contents %x", id, pg[0])
+		}
+	}
+}
+
+// TestPoolBatchedEvictionGroup: under eviction pressure the pool pre-flushes
+// a group of cold dirty frames in one submission, then evicts the strict LRU
+// victim.
+func TestPoolBatchedEvictionGroup(t *testing.T) {
+	d := NewDevice(64, MQSSD, nil)
+	p := NewBufferPool(d, 8)
+	p.SetIOBatch(4)
+	var ids []PageID
+	for i := 0; i < 8; i++ {
+		f, err := p.NewPage(rum.Base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, f.ID())
+		p.Release(f)
+	}
+	// The 9th page forces an eviction: the group flush drains the 4 coldest
+	// dirty frames in one batch (1 wave of 20), then evicts ids[0].
+	f, err := p.NewPage(rum.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release(f)
+	st := p.Stats()
+	if st.Evictions != 1 || st.WriteBacks != 4 {
+		t.Fatalf("eviction group ledger: %+v", st)
+	}
+	if _, cached := p.frames[ids[0]]; cached {
+		t.Fatal("LRU victim still cached")
+	}
+	if _, cached := p.frames[ids[1]]; !cached {
+		t.Fatal("eviction group evicted more than the victim")
+	}
+	if got := d.Stats().CostUnits; got != 20 {
+		t.Fatalf("eviction group cost %d, want 20", got)
+	}
+}
+
+// TestPoolOverflowsAllPinnedBatched: the overflow path is unchanged by
+// batched write-back — an all-pinned multi-queue pool still overflows
+// rather than evicting, and no batch is submitted for pinned frames.
+func TestPoolOverflowsAllPinnedBatched(t *testing.T) {
+	d := NewDevice(64, MQSSD, nil)
+	p := NewBufferPool(d, 2)
+	var frames []*Frame
+	for i := 0; i < 5; i++ {
+		f, err := p.NewPage(rum.Base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, f)
+	}
+	if got := p.Stats().Overflows; got != 3 {
+		t.Fatalf("overflows: %d", got)
+	}
+	if d.Stats().PageWrites != 0 || d.Stats().Batches != 0 {
+		t.Fatalf("pinned frames were flushed: %+v", d.Stats())
+	}
+	for _, f := range frames {
+		p.Release(f)
+	}
+	f, err := p.NewPage(rum.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release(f)
+	st := p.Stats()
+	if st.Overflows != 3 || st.Evictions == 0 {
+		t.Fatalf("post-release ledger: %+v", st)
+	}
+}
+
+// TestPoolBatchSkipsUnflushableVictim: with an injector armed the pool
+// abandons batching entirely (batch submissions must not blur per-fault
+// semantics), and the existing skip-unflushable-victim behaviour holds.
+func TestPoolBatchSkipsUnflushableVictim(t *testing.T) {
+	d := NewDevice(64, MQSSD, nil)
+	p := NewBufferPool(d, 2)
+	fa, err := p.NewPage(rum.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idA := fa.ID()
+	p.Release(fa)
+	fb, err := p.NewPage(rum.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release(fb)
+
+	// A's flush fails on every attempt; B's succeeds.
+	si := &scriptInjector{failWrite: map[uint64]error{}}
+	si.failWrite[1] = permanent() // first write attempt (A, the LRU victim)
+	d.SetInjector(si)
+	c := d.Alloc(rum.Base)
+	fc, err := p.Fetch(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release(fc)
+	st := p.Stats()
+	if st.Evictions != 1 || st.FlushFailures != 1 {
+		t.Fatalf("faulted eviction ledger: %+v", st)
+	}
+	if _, cached := p.frames[idA]; !cached {
+		t.Fatal("unflushable frame was dropped")
+	}
+	if d.Stats().Batches != 0 {
+		t.Fatal("batch submitted with injector armed")
+	}
+}
+
+// TestPoolReadahead: prefetched pages install unpinned and clean, count
+// misses matching their device reads, and turn the demand fetches into hits.
+func TestPoolReadahead(t *testing.T) {
+	rec := &batchRecorder{}
+	d := NewDevice(64, MQSSD, nil)
+	p := NewBufferPool(d, 24)
+	ids := allocN(t, d, 12, rum.Base)
+	for i, id := range ids {
+		if err := d.Write(id, bytes.Repeat([]byte{byte(i + 1)}, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.ResetStats()
+	d.SetHook(rec)
+	p.SetHook(rec)
+
+	if got := p.Readahead(ids); got != 12 {
+		t.Fatalf("readahead installed %d, want 12", got)
+	}
+	// 12 pages in two submissions (8 + 4): 2 waves of 4 = 8 cost units.
+	if st := d.Stats(); st.PageReads != 12 || st.CostUnits != 8 || st.Batches != 2 {
+		t.Fatalf("readahead device ledger: %+v", st)
+	}
+	st := p.Stats()
+	if st.Misses != 12 || st.Hits != 0 {
+		t.Fatalf("readahead pool ledger: %+v", st)
+	}
+	if st.Misses != d.Stats().PageReads {
+		t.Fatalf("misses (%d) diverge from device reads (%d)", st.Misses, d.Stats().PageReads)
+	}
+	// Demand fetches are now hits, at no further device cost.
+	for i, id := range ids {
+		f, err := p.Fetch(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Data()[0] != byte(i+1) {
+			t.Fatalf("prefetched page %d contents %x", id, f.Data()[0])
+		}
+		p.Release(f)
+	}
+	st = p.Stats()
+	if st.Hits != 12 || st.Misses != 12 {
+		t.Fatalf("post-fetch ledger: %+v", st)
+	}
+	if got := d.Stats().PageReads; got != 12 {
+		t.Fatalf("demand fetches re-read the device: %d", got)
+	}
+	// Already-cached pages are skipped; a second readahead is free.
+	if got := p.Readahead(ids); got != 0 {
+		t.Fatalf("second readahead installed %d", got)
+	}
+	// A prefetch is clamped to half the pool: it must never wipe the demand
+	// working set.
+	sp := NewBufferPool(d, 8)
+	if got := sp.Readahead(ids); got != 4 {
+		t.Fatalf("half-pool clamp installed %d, want 4", got)
+	}
+	// Flat media: readahead declines to prefetch at all.
+	fd := NewDevice(64, SSD, nil)
+	fp := NewBufferPool(fd, 8)
+	fids := allocN(t, fd, 4, rum.Base)
+	if got := fp.Readahead(fids); got != 0 {
+		t.Fatalf("flat-media readahead installed %d", got)
+	}
+	if fd.Stats().PageReads != 0 {
+		t.Fatal("flat-media readahead touched the device")
+	}
+}

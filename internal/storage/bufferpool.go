@@ -24,6 +24,11 @@ type PoolStats struct {
 	// FlushFailures counts dirty-frame write-backs that failed; the frame
 	// stays cached and dirty so no acknowledged data is silently dropped.
 	FlushFailures uint64
+	// FetchFailures counts Fetch calls whose device read failed (after any
+	// retries). A failed fetch installs no frame and counts neither a hit
+	// nor a miss, so HitRatio stays a statement about served requests and
+	// Misses reconciles exactly with successful device reads.
+	FetchFailures uint64
 }
 
 // HitRatio returns hits / (hits+misses), or 0 for an untouched pool.
@@ -72,19 +77,27 @@ type BufferPool struct {
 	stats    PoolStats
 	hook     Hook
 	retries  int // extra attempts per device op after a transient fault
+	ioBatch  int // pages per batch submission (1 = per-page I/O)
 }
 
 // NewBufferPool creates a pool of capacity pages over dev. Capacity must be
-// at least 1.
+// at least 1. The I/O batch defaults to the device's channel parallelism:
+// multi-queue media get vectored write-back out of the box, flat media keep
+// exact per-page submission (see SetIOBatch).
 func NewBufferPool(dev *Device, capacity int) *BufferPool {
 	if capacity < 1 {
 		panic("storage: buffer pool capacity must be >= 1")
+	}
+	ioBatch := dev.CostModel().Channels
+	if ioBatch < 1 {
+		ioBatch = 1
 	}
 	return &BufferPool{
 		dev:      dev,
 		capacity: capacity,
 		frames:   make(map[PageID]*Frame, capacity),
 		lru:      list.New(),
+		ioBatch:  ioBatch,
 	}
 }
 
@@ -112,6 +125,31 @@ func (p *BufferPool) SetRetryBudget(n int) {
 
 // RetryBudget returns the current retry budget.
 func (p *BufferPool) RetryBudget() int { return p.retries }
+
+// SetIOBatch sets the pool's batch-submission width: how many dirty frames
+// one vectored write-back (FlushAll, eviction groups) gathers into a single
+// Device.WriteBatch, and how many pages one Readahead submission carries.
+// Values below 1 clamp to 1, which disables batching (per-page I/O, the
+// exact pre-batching behaviour). Widths beyond the device's channel
+// parallelism are allowed — the device prices the excess as extra waves, so
+// sweeping past the channel limit shows saturation.
+func (p *BufferPool) SetIOBatch(n int) {
+	if n < 1 {
+		n = 1
+	}
+	p.ioBatch = n
+}
+
+// IOBatch returns the current batch-submission width.
+func (p *BufferPool) IOBatch() int { return p.ioBatch }
+
+// batchIO reports whether the pool currently submits batched I/O: a batch
+// width above 1 and a clean device. With an injector armed the pool stays on
+// the per-frame path, preserving per-fault semantics and the copying flush
+// (a torn batch must not corrupt frames it may retry from).
+func (p *BufferPool) batchIO() bool {
+	return p.ioBatch > 1 && !p.dev.Faulty() && !p.dev.Crashed()
+}
 
 // DirtyCount returns the number of cached frames whose contents diverge from
 // the device. After FlushAll it is zero unless write-backs failed; durability
@@ -155,13 +193,18 @@ func (p *BufferPool) Fetch(id PageID) (*Frame, error) {
 		}
 		return f, nil
 	}
+	// The miss is counted only once the repairing device read has
+	// succeeded: a failed read installs nothing and counts a FetchFailure,
+	// not a miss, so HitRatio and the miss ledger stay reconciled with the
+	// device's successful reads.
+	src, err := p.readWithRetry(id)
+	if err != nil {
+		p.stats.FetchFailures++
+		return nil, err
+	}
 	p.stats.Misses++
 	if p.hook != nil {
 		p.hook.StorageEvent(EvMiss, id, p.dev.Class(id), 0)
-	}
-	src, err := p.readWithRetry(id)
-	if err != nil {
-		return nil, err
 	}
 	f := p.install(id)
 	copy(f.data, src)
@@ -231,14 +274,16 @@ func (p *BufferPool) install(id PageID) *Frame {
 // dirty. Frames whose write-back fails (an injected device fault) are kept
 // cached and dirty rather than dropped — losing an acknowledged write to an
 // eviction would be silent corruption — so the search moves on to the next
-// victim. It reports whether a victim was found.
+// victim. It reports whether a victim was found. Under a batch width above
+// 1 a dirty victim's write-back is amortized (see flushVictim); victim
+// choice (strict LRU order among unpinned frames) is unchanged.
 func (p *BufferPool) evictOne() bool {
 	for e := p.lru.Back(); e != nil; e = e.Prev() {
 		f := e.Value.(*Frame)
 		if f.pins > 0 {
 			continue
 		}
-		if f.dirty && !p.flushFrame(f) {
+		if f.dirty && !p.flushVictim(f) {
 			continue
 		}
 		p.lru.Remove(e)
@@ -286,6 +331,66 @@ func (p *BufferPool) flushFrame(f *Frame) bool {
 	return true
 }
 
+// flushGroup writes a group of dirty frames back as one batch submission.
+// Callers have already excluded freed pages; a group of one degrades to the
+// ordinary per-frame flush. Should the batch fail anyway (a crash latched
+// mid-run), the group falls back to per-frame flushes so the failure ledger
+// (FlushFailures, dirty retention) is exactly the unbatched one.
+func (p *BufferPool) flushGroup(group []*Frame) {
+	if len(group) == 1 {
+		p.flushFrame(group[0])
+		return
+	}
+	ids := make([]PageID, len(group))
+	data := make([][]byte, len(group))
+	for i, f := range group {
+		ids[i], data[i] = f.id, f.data
+	}
+	if err := p.dev.WriteBatch(ids, data); err != nil {
+		for _, f := range group {
+			p.flushFrame(f)
+		}
+		return
+	}
+	for _, f := range group {
+		f.dirty = false
+		p.stats.WriteBacks++
+		if p.hook != nil {
+			p.hook.StorageEvent(EvWriteBack, f.id, p.dev.Class(f.id), 0)
+		}
+	}
+}
+
+// flushVictim writes back a dirty eviction victim, reporting whether the
+// frame came out clean. Under batched I/O the victim's unavoidable
+// write-back is amortized: up to IOBatch-1 other cold dirty unpinned frames
+// join the same submission, so eviction pressure under a write burst drains
+// at queue depth instead of one page per eviction. The group forms only
+// around a victim that must be written anyway — the pool never flushes more
+// eagerly than per-frame eviction would, so dirty frames that would have
+// been freed before eviction still cost nothing. Frames whose page was
+// freed while cached have nothing to persist and are marked clean instead
+// of joining the group.
+func (p *BufferPool) flushVictim(victim *Frame) bool {
+	if !p.batchIO() {
+		return p.flushFrame(victim)
+	}
+	group := []*Frame{victim}
+	for e := p.lru.Back(); e != nil && len(group) < p.ioBatch; e = e.Prev() {
+		f := e.Value.(*Frame)
+		if f == victim || f.pins > 0 || !f.dirty {
+			continue
+		}
+		if p.dev.check(f.id) != nil {
+			f.dirty = false
+			continue
+		}
+		group = append(group, f)
+	}
+	p.flushGroup(group)
+	return !victim.dirty
+}
+
 // Release unpins a frame previously returned by Fetch or NewPage.
 func (p *BufferPool) Release(f *Frame) {
 	p.owner.assert("BufferPool")
@@ -314,14 +419,102 @@ func (p *BufferPool) FreePage(id PageID) error {
 // them; DirtyCount reports how many remain). Frames are visited in LRU
 // order, not map order, so an armed fault injector sees the same write
 // sequence on every run — part of the determinism contract with the
-// parallel bench runner.
+// parallel bench runner. Under a batch width above 1 the dirty frames are
+// gathered (still in LRU order) into IOBatch-sized Device.WriteBatch
+// submissions, so a full-pool flush drains at queue depth.
 func (p *BufferPool) FlushAll() {
 	p.owner.assert("BufferPool")
+	if !p.batchIO() {
+		for e := p.lru.Back(); e != nil; e = e.Prev() {
+			if f := e.Value.(*Frame); f.dirty {
+				p.flushFrame(f)
+			}
+		}
+		return
+	}
+	var group []*Frame
 	for e := p.lru.Back(); e != nil; e = e.Prev() {
-		if f := e.Value.(*Frame); f.dirty {
-			p.flushFrame(f)
+		f := e.Value.(*Frame)
+		if !f.dirty {
+			continue
+		}
+		if p.dev.check(f.id) != nil {
+			f.dirty = false // freed while cached: nothing left to persist
+			continue
+		}
+		group = append(group, f)
+		if len(group) == p.ioBatch {
+			p.flushGroup(group)
+			group = group[:0]
 		}
 	}
+	if len(group) > 0 {
+		p.flushGroup(group)
+	}
+}
+
+// Readahead batch-reads the given pages into the pool ahead of demand,
+// installing them unpinned and clean, and returns how many were installed.
+// Pages already cached or no longer live are skipped; the prefetch is
+// clamped to half the pool — a prefetch must never wipe the demand working
+// set — and submitted in IOBatch-sized batches. Each
+// installed page counts a miss (it cost a device read; the later Fetch that
+// finds it is an honest hit), so the miss ledger still reconciles with
+// device reads. On flat media, or with a fault injector armed, Readahead is
+// a no-op — prefetching only pays when the device can serve the batch in
+// parallel, and fault streams must see demand-order reads.
+func (p *BufferPool) Readahead(ids []PageID) int {
+	p.owner.assert("BufferPool")
+	if !p.batchIO() {
+		return 0
+	}
+	limit := p.capacity / 2
+	if limit < 1 {
+		limit = 1
+	}
+	want := make([]PageID, 0, len(ids))
+	for _, id := range ids {
+		if _, ok := p.frames[id]; ok {
+			continue
+		}
+		if p.dev.check(id) != nil {
+			continue
+		}
+		want = append(want, id)
+		if len(want) == limit {
+			break
+		}
+	}
+	installed := 0
+	for len(want) > 0 {
+		chunk := want
+		if len(chunk) > p.ioBatch {
+			chunk = chunk[:p.ioBatch]
+		}
+		want = want[len(chunk):]
+		pages, err := p.dev.ReadBatch(chunk)
+		if err != nil {
+			return installed
+		}
+		for i, id := range chunk {
+			if _, ok := p.frames[id]; ok {
+				continue // duplicate id within the request
+			}
+			if len(p.frames) >= p.capacity && !p.evictOne() {
+				return installed // everything pinned: never overflow for a prefetch
+			}
+			f := &Frame{id: id, data: make([]byte, p.dev.PageSize())}
+			copy(f.data, pages[i])
+			f.elem = p.lru.PushFront(f)
+			p.frames[id] = f
+			p.stats.Misses++
+			if p.hook != nil {
+				p.hook.StorageEvent(EvMiss, id, p.dev.Class(id), 0)
+			}
+			installed++
+		}
+	}
+	return installed
 }
 
 // DropAll flushes and then discards every unpinned frame, emptying the

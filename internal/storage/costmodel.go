@@ -1,0 +1,107 @@
+package storage
+
+import "fmt"
+
+// CostModel prices page traffic on a Medium. The classic media (RAM, SSD,
+// HDD, SMR) are flat Aggarwal–Vitter devices: every page access costs the
+// per-page service time and Channels is 1, so a batch of n pages costs
+// exactly n sequential accesses. MQSSD models a multi-queue NVMe device
+// ("Multi-Queue SSD I/O Modeling & Its Implications for Data Structure
+// Design", PAPERS.md): per-page service times are unchanged, but up to
+// Channels submissions proceed in parallel, so a batch amortizes its service
+// time across the achieved queue depth — near-linear speedup up to the
+// channel limit, saturation beyond it.
+type CostModel struct {
+	// ReadCost and WriteCost are the per-page service times in abstract
+	// cost units.
+	ReadCost  uint64
+	WriteCost uint64
+	// Channels is the device's internal parallelism: the number of
+	// submissions one batch can have in flight at once. 1 is the flat
+	// model — batching buys nothing.
+	Channels int
+}
+
+// PageCost returns the per-page service time for one direction.
+func (c CostModel) PageCost(write bool) uint64 {
+	if write {
+		return c.WriteCost
+	}
+	return c.ReadCost
+}
+
+// Depth returns the queue depth a batch of n pages achieves: n submissions
+// in flight, clamped at the channel limit.
+func (c CostModel) Depth(n int) int {
+	if ch := c.Channels; ch > 1 && n > ch {
+		return ch
+	}
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// BatchCost prices a batch of n same-direction page accesses submitted
+// together: the device drains the batch in ceil(n/Channels) waves of
+// parallel service times. With Channels=1 (flat media) this is exactly
+// n*PageCost — identical to n sequential accesses — so flat-media ledgers
+// are unaffected by whether callers batch.
+func (c CostModel) BatchCost(n int, write bool) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	ch := c.Channels
+	if ch < 1 {
+		ch = 1
+	}
+	waves := uint64((n + ch - 1) / ch)
+	return waves * c.PageCost(write)
+}
+
+// valid reports whether m is one of the defined media.
+func (m Medium) valid() bool {
+	switch m {
+	case RAM, SSD, HDD, SMR, MQSSD:
+		return true
+	}
+	return false
+}
+
+// Model returns the medium's cost model. The MQSSD shares the SSD's per-page
+// service times — what changes is not the flash, it is the queue in front of
+// it — so any cost difference between the two media is attributable to
+// batching alone.
+func (m Medium) Model() CostModel {
+	switch m {
+	case RAM:
+		return CostModel{ReadCost: 1, WriteCost: 1, Channels: 1}
+	case SSD:
+		return CostModel{ReadCost: 4, WriteCost: 20, Channels: 1}
+	case HDD:
+		return CostModel{ReadCost: 100, WriteCost: 100, Channels: 1}
+	case SMR:
+		return CostModel{ReadCost: 100, WriteCost: 400, Channels: 1}
+	case MQSSD:
+		return CostModel{ReadCost: 4, WriteCost: 20, Channels: mqssdChannels}
+	default:
+		panic(fmt.Sprintf("storage: no cost model for invalid medium %d", int(m)))
+	}
+}
+
+// mqssdChannels is the MQSSD's internal parallelism. Eight lanes is in the
+// regime real NVMe exposes per submission queue pair; deep enough that
+// batching pays visibly, shallow enough that experiment batch sweeps can
+// show saturation past it.
+const mqssdChannels = 8
+
+// ParseMedium resolves a medium name as used in CLI flags. It accepts the
+// String() form of every valid medium.
+func ParseMedium(s string) (Medium, error) {
+	for _, m := range []Medium{RAM, SSD, HDD, SMR, MQSSD} {
+		if s == m.String() {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("storage: unknown medium %q (want ram/ssd/hdd/smr/mqssd)", s)
+}

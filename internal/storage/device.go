@@ -36,6 +36,11 @@ const (
 	HDD
 	// SMR models shingled disks: HDD reads, very expensive random writes.
 	SMR
+	// MQSSD is a multi-queue NVMe SSD: per-page service times identical to
+	// SSD, but with internal channel parallelism, so batched submissions
+	// amortize their service time across the achieved queue depth (see
+	// CostModel). Depth-1 traffic prices exactly like SSD.
+	MQSSD
 )
 
 // String names the medium.
@@ -49,24 +54,12 @@ func (m Medium) String() string {
 		return "hdd"
 	case SMR:
 		return "smr"
+	case MQSSD:
+		return "mqssd"
 	default:
+		// Invalid media cannot reach a Device (NewDevice panics), but the
+		// diagnostic form is kept for error paths that print a raw value.
 		return fmt.Sprintf("medium(%d)", int(m))
-	}
-}
-
-// costs returns (readCost, writeCost) per page in abstract time units.
-func (m Medium) costs() (read, write uint64) {
-	switch m {
-	case RAM:
-		return 1, 1
-	case SSD:
-		return 4, 20
-	case HDD:
-		return 100, 100
-	case SMR:
-		return 100, 400
-	default:
-		return 1, 1
 	}
 }
 
@@ -77,6 +70,12 @@ type DeviceStats struct {
 	PagesAllocated uint64
 	PagesFreed     uint64
 	CostUnits      uint64 // medium-weighted access cost
+	// Batches counts batch submissions charged at depth (ReadBatch and
+	// WriteBatch calls that took the amortized path); BatchedPages is the
+	// pages they carried. Per-page traffic within batches still counts in
+	// PageReads/PageWrites.
+	Batches      uint64
+	BatchedPages uint64
 }
 
 // Errors returned by Device operations.
@@ -137,29 +136,32 @@ type Device struct {
 	freeList  []PageID
 	stats     DeviceStats
 	meter     *rum.Meter
-	readCost  uint64
-	writeCost uint64
+	model     CostModel
 	injector  FaultInjector
 	crashed   bool
 	hook      Hook
+	batchHook BatchHook // hook's BatchHook side, cached at SetHook; nil if none
 }
 
 // NewDevice creates a device with the given page size and medium, feeding its
-// traffic into meter. A nil meter is replaced with a private one.
+// traffic into meter. A nil meter is replaced with a private one. An unknown
+// medium panics: a silently-wrong cost ledger is worse than a crash at
+// construction time.
 func NewDevice(pageSize int, medium Medium, meter *rum.Meter) *Device {
 	if pageSize <= 0 {
 		panic("storage: page size must be positive")
 	}
+	if !medium.valid() {
+		panic(fmt.Sprintf("storage: invalid medium %d (want RAM/SSD/HDD/SMR/MQSSD)", int(medium)))
+	}
 	if meter == nil {
 		meter = &rum.Meter{}
 	}
-	r, w := medium.costs()
 	return &Device{
-		pageSize:  pageSize,
-		medium:    medium,
-		meter:     meter,
-		readCost:  r,
-		writeCost: w,
+		pageSize: pageSize,
+		medium:   medium,
+		meter:    meter,
+		model:    medium.Model(),
 	}
 }
 
@@ -185,19 +187,41 @@ func (d *Device) Crashed() bool { return d.crashed }
 func (d *Device) Reopen() { d.crashed = false }
 
 // SetHook attaches (or, with nil, detaches) an observer for page events.
-func (d *Device) SetHook(h Hook) { d.hook = h }
+// Hooks that also implement BatchHook additionally receive one batch event
+// per amortized ReadBatch/WriteBatch submission.
+func (d *Device) SetHook(h Hook) {
+	d.hook = h
+	d.batchHook, _ = h.(BatchHook)
+}
 
-// fail records an injected failure: it classifies err, emits the matching
-// hook event, latches the crash state when err wraps ErrCrash, and returns
-// the error annotated with the operation. Failed operations count no traffic
-// in stats or the meter — the hook event is their only trace.
-func (d *Device) fail(err error, op string, id PageID, cost uint64) error {
-	ev := EvFault
-	if errors.Is(err, ErrCrash) {
+// fail is the single exit for every injected failure: it classifies err,
+// latches the crash state when err wraps ErrCrash, emits the matching hook
+// event(s), and returns the error annotated with the operation. cost is the
+// medium-weighted cost of the attempted operation — the event carries what
+// the failure cost, even though the failed transfer counts no traffic in
+// stats or the meter (the hook event is its only trace). torn > 0 marks a
+// torn write (that many bytes persisted before the failure): the event is
+// EvTorn, followed by EvCrash when the tear was also the crash point.
+func (d *Device) fail(err error, op string, id PageID, torn int, cost uint64) error {
+	crash := errors.Is(err, ErrCrash)
+	if crash {
 		d.crashed = true
-		ev = EvCrash
+	}
+	if torn > 0 {
+		if d.hook != nil {
+			d.hook.StorageEvent(EvTorn, id, d.class[id], cost)
+			if crash {
+				d.hook.StorageEvent(EvCrash, id, d.class[id], cost)
+			}
+		}
+		return fmt.Errorf("%w: torn %s of page %d (%d/%d bytes persisted)",
+			err, op, id, torn, d.pageSize)
 	}
 	if d.hook != nil {
+		ev := EvFault
+		if crash {
+			ev = EvCrash
+		}
 		d.hook.StorageEvent(ev, id, d.class[id], cost)
 	}
 	return fmt.Errorf("%w: %s of page %d", err, op, id)
@@ -208,6 +232,9 @@ func (d *Device) PageSize() int { return d.pageSize }
 
 // Medium returns the simulated storage technology.
 func (d *Device) Medium() Medium { return d.medium }
+
+// CostModel returns the pricing model the device charges traffic under.
+func (d *Device) CostModel() CostModel { return d.model }
 
 // Meter returns the rum.Meter the device reports traffic to.
 func (d *Device) Meter() *rum.Meter { return d.meter }
@@ -321,14 +348,14 @@ func (d *Device) Read(id PageID) ([]byte, error) {
 	}
 	if d.injector != nil {
 		if err := d.injector.ReadFault(id); err != nil {
-			return nil, d.fail(err, "read", id, 0)
+			return nil, d.fail(err, "read", id, 0, d.model.ReadCost)
 		}
 	}
 	d.stats.PageReads++
-	d.stats.CostUnits += d.readCost
+	d.stats.CostUnits += d.model.ReadCost
 	d.meter.CountRead(d.class[id], d.pageSize)
 	if d.hook != nil {
-		d.hook.StorageEvent(EvRead, id, d.class[id], d.readCost)
+		d.hook.StorageEvent(EvRead, id, d.class[id], d.model.ReadCost)
 	}
 	return d.pages[id], nil
 }
@@ -357,26 +384,16 @@ func (d *Device) Write(id PageID, data []byte) error {
 					torn = d.pageSize
 				}
 				copy(d.pages[id][:torn], data[:torn])
-				if d.hook != nil {
-					d.hook.StorageEvent(EvTorn, id, d.class[id], d.writeCost)
-				}
-				if errors.Is(err, ErrCrash) {
-					d.crashed = true
-					if d.hook != nil {
-						d.hook.StorageEvent(EvCrash, id, d.class[id], 0)
-					}
-				}
-				return fmt.Errorf("%w: torn write of page %d (%d/%d bytes persisted)",
-					err, id, torn, d.pageSize)
+				return d.fail(err, "write", id, torn, d.model.WriteCost)
 			}
-			return d.fail(err, "write", id, 0)
+			return d.fail(err, "write", id, 0, d.model.WriteCost)
 		}
 	}
 	d.stats.PageWrites++
-	d.stats.CostUnits += d.writeCost
+	d.stats.CostUnits += d.model.WriteCost
 	d.meter.CountWrite(d.class[id], d.pageSize)
 	if d.hook != nil {
-		d.hook.StorageEvent(EvWrite, id, d.class[id], d.writeCost)
+		d.hook.StorageEvent(EvWrite, id, d.class[id], d.model.WriteCost)
 	}
 	copy(d.pages[id], data)
 	return nil
@@ -398,20 +415,133 @@ func (d *Device) WriteInPlace(id PageID) ([]byte, error) {
 	}
 	if d.injector != nil {
 		if _, err := d.injector.WriteFault(id, d.pageSize); err != nil {
-			return nil, d.fail(err, "write", id, 0)
+			return nil, d.fail(err, "write", id, 0, d.model.WriteCost)
 		}
 	}
 	d.stats.PageWrites++
-	d.stats.CostUnits += d.writeCost
+	d.stats.CostUnits += d.model.WriteCost
 	d.meter.CountWrite(d.class[id], d.pageSize)
 	if d.hook != nil {
-		d.hook.StorageEvent(EvWrite, id, d.class[id], d.writeCost)
+		d.hook.StorageEvent(EvWrite, id, d.class[id], d.model.WriteCost)
 	}
 	return d.pages[id], nil
 }
 
+// batchable reports whether a batch of n pages takes the amortized
+// charging path. It requires real channel parallelism and a clean device:
+// with an injector armed (or the device crashed) batches degrade to the
+// sequential per-page path, so fault consultation order, per-fault
+// semantics, and the resulting ledgers are identical to unbatched callers.
+func (d *Device) batchable(n int) bool {
+	return n > 1 && d.model.Channels > 1 && d.injector == nil && !d.crashed
+}
+
+// ReadBatch reads every page in ids as one batch submission. On a
+// multi-queue medium the whole batch is charged CostModel.BatchCost — the
+// service time amortized across the achieved queue depth — instead of n
+// sequential reads; per-page EvRead events carry cost shares that sum
+// exactly to the batch cost, followed by one BatchHook event carrying the
+// achieved depth. On flat media, or whenever an injector is armed, it is
+// exactly equivalent to calling Read per page. The returned slices alias
+// device memory, like Read. Invalid pages fail the whole batch before any
+// traffic is counted.
+func (d *Device) ReadBatch(ids []PageID) ([][]byte, error) {
+	d.owner.assert("Device")
+	if !d.batchable(len(ids)) {
+		out := make([][]byte, len(ids))
+		for i, id := range ids {
+			pg, err := d.Read(id)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = pg
+		}
+		return out, nil
+	}
+	for _, id := range ids {
+		if err := d.check(id); err != nil {
+			return nil, err
+		}
+	}
+	n := len(ids)
+	cost := d.model.BatchCost(n, false)
+	d.stats.PageReads += uint64(n)
+	d.stats.CostUnits += cost
+	d.stats.Batches++
+	d.stats.BatchedPages += uint64(n)
+	out := make([][]byte, n)
+	share, extra := cost/uint64(n), int(cost%uint64(n))
+	for i, id := range ids {
+		d.meter.CountRead(d.class[id], d.pageSize)
+		if d.hook != nil {
+			c := share
+			if i < extra {
+				c++
+			}
+			d.hook.StorageEvent(EvRead, id, d.class[id], c)
+		}
+		out[i] = d.pages[id]
+	}
+	if d.batchHook != nil {
+		d.batchHook.StorageBatch(false, n, d.model.Depth(n), cost)
+	}
+	return out, nil
+}
+
+// WriteBatch writes data[i] to ids[i] as one batch submission, with the same
+// charging rule as ReadBatch: amortized at the achieved depth on multi-queue
+// media, exactly equivalent to per-page Write calls on flat media or with an
+// injector armed. Every data slice must be exactly one page. Invalid pages
+// or lengths fail the whole batch before any traffic is counted or any page
+// image changes.
+func (d *Device) WriteBatch(ids []PageID, data [][]byte) error {
+	d.owner.assert("Device")
+	if len(ids) != len(data) {
+		return fmt.Errorf("storage: batch write of %d pages with %d images", len(ids), len(data))
+	}
+	if !d.batchable(len(ids)) {
+		for i, id := range ids {
+			if err := d.Write(id, data[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i, id := range ids {
+		if err := d.check(id); err != nil {
+			return err
+		}
+		if len(data[i]) != d.pageSize {
+			return fmt.Errorf("storage: write of %d bytes to page of %d", len(data[i]), d.pageSize)
+		}
+	}
+	n := len(ids)
+	cost := d.model.BatchCost(n, true)
+	d.stats.PageWrites += uint64(n)
+	d.stats.CostUnits += cost
+	d.stats.Batches++
+	d.stats.BatchedPages += uint64(n)
+	share, extra := cost/uint64(n), int(cost%uint64(n))
+	for i, id := range ids {
+		d.meter.CountWrite(d.class[id], d.pageSize)
+		if d.hook != nil {
+			c := share
+			if i < extra {
+				c++
+			}
+			d.hook.StorageEvent(EvWrite, id, d.class[id], c)
+		}
+		copy(d.pages[id], data[i])
+	}
+	if d.batchHook != nil {
+		d.batchHook.StorageBatch(true, n, d.model.Depth(n), cost)
+	}
+	return nil
+}
+
 // Clone returns a deep copy of the device — page images, classes, free list,
-// and stats — reporting its traffic to meter (nil selects a private one).
+// cost model, and stats — reporting its traffic to meter (nil selects a
+// private one).
 // Cloning is how concurrent run cells start from an identical preloaded
 // image without sharing mutable state: preload a template once, then each
 // cell clones it and owns the copy. The clone has no injector, crash latch,
@@ -421,12 +551,11 @@ func (d *Device) Clone(meter *rum.Meter) *Device {
 		meter = &rum.Meter{}
 	}
 	nd := &Device{
-		pageSize:  d.pageSize,
-		medium:    d.medium,
-		meter:     meter,
-		readCost:  d.readCost,
-		writeCost: d.writeCost,
-		stats:     d.stats,
+		pageSize: d.pageSize,
+		medium:   d.medium,
+		meter:    meter,
+		model:    d.model,
+		stats:    d.stats,
 		pages:     make([][]byte, len(d.pages)),
 		class:     append([]rum.Class(nil), d.class...),
 		live:      append([]bool(nil), d.live...),

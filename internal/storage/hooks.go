@@ -15,8 +15,10 @@ const (
 	EvWrite
 	// EvHit is a buffer pool hit: the page was served without device traffic.
 	EvHit
-	// EvMiss is a buffer pool miss; the device read that repairs it follows
-	// as a separate EvRead.
+	// EvMiss is a buffer pool miss; the device read that repaired it
+	// arrives as a separate EvRead, emitted just before the miss (the pool
+	// only counts a miss once the read succeeded and the frame installs —
+	// failed fetches count in PoolStats.FetchFailures instead).
 	EvMiss
 	// EvEvict is a buffer pool eviction of an unpinned frame.
 	EvEvict
@@ -78,4 +80,20 @@ func (e Event) String() string {
 // they are free).
 type Hook interface {
 	StorageEvent(ev Event, id PageID, class rum.Class, cost uint64)
+}
+
+// BatchHook is the optional batch-submission side of a Hook. A hook that
+// implements it additionally receives one StorageBatch call per amortized
+// ReadBatch/WriteBatch submission, carrying the batch's page count, achieved
+// queue depth (CostModel.Depth), and total medium-weighted cost.
+//
+// The happens-before contract per batch: the per-page EvRead/EvWrite events
+// of the batch are emitted first, in submission order, with cost shares
+// summing exactly to the batch cost; the StorageBatch call follows last.
+// Observers may therefore treat StorageBatch as the batch commit point —
+// when it arrives, every page event of that batch has already arrived —
+// and totals reconcile whether or not they track batches at all.
+type BatchHook interface {
+	Hook
+	StorageBatch(write bool, pages, depth int, cost uint64)
 }

@@ -65,8 +65,10 @@ func TestDeviceHookEvents(t *testing.T) {
 		}
 	}
 
-	// A failed (injected) read emits an EvFault event — zero cost, since the
-	// failed transfer counts no traffic — instead of an EvRead.
+	// A failed (injected) read emits an EvFault event instead of an EvRead.
+	// The event carries the attempted operation's weighted cost (the SSD
+	// read cost here) even though the failed transfer counts no traffic in
+	// stats or the meter — the event is the failure's only cost trace.
 	d.SetInjector(&scriptInjector{failRead: map[uint64]error{1: permanent()}})
 	before := len(rec.events)
 	if _, err := d.Read(base); err == nil {
@@ -75,8 +77,11 @@ func TestDeviceHookEvents(t *testing.T) {
 	if len(rec.events) != before+1 {
 		t.Fatalf("failed read emitted %d events, want 1", len(rec.events)-before)
 	}
-	if e := rec.events[before]; e.Ev != EvFault || e.ID != base || e.Cost != 0 {
+	if e := rec.events[before]; e.Ev != EvFault || e.ID != base || e.Cost != 4 {
 		t.Fatalf("fault event: %+v", e)
+	}
+	if st := d.Stats(); st.PageReads != 1 || st.CostUnits != 44 {
+		t.Fatalf("failed read counted traffic: %+v", st)
 	}
 	before = len(rec.events)
 	d.SetInjector(nil)

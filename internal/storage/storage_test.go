@@ -108,21 +108,34 @@ func TestDeviceErrors(t *testing.T) {
 }
 
 func TestMediumCosts(t *testing.T) {
-	for _, m := range []Medium{RAM, SSD, HDD, SMR} {
+	// The full valid set, with the channel parallelism each model carries.
+	wantChannels := map[Medium]int{RAM: 1, SSD: 1, HDD: 1, SMR: 1, MQSSD: 8}
+	for m, ch := range wantChannels {
 		if m.String() == "" {
 			t.Fatal("empty medium name")
 		}
-		r, w := m.costs()
-		if r == 0 || w == 0 {
+		cm := m.Model()
+		if cm.ReadCost == 0 || cm.WriteCost == 0 {
 			t.Fatalf("%v: zero cost", m)
+		}
+		if cm.Channels != ch {
+			t.Fatalf("%v: channels %d, want %d", m, cm.Channels, ch)
+		}
+		if got, err := ParseMedium(m.String()); err != nil || got != m {
+			t.Fatalf("ParseMedium(%q) = %v, %v", m.String(), got, err)
 		}
 	}
 	// Flash asymmetry: SSD writes cost more than reads; SMR worse still.
-	if r, w := SSD.costs(); w <= r {
+	if cm := SSD.Model(); cm.WriteCost <= cm.ReadCost {
 		t.Fatal("SSD write should cost more than read")
 	}
-	if _, w := SMR.costs(); w <= 100 {
+	if cm := SMR.Model(); cm.WriteCost <= 100 {
 		t.Fatal("SMR writes should be punitive")
+	}
+	// MQSSD is the SSD behind a queue: identical service times, so any cost
+	// difference between the two media is attributable to batching alone.
+	if ssd, mq := SSD.Model(), MQSSD.Model(); ssd.ReadCost != mq.ReadCost || ssd.WriteCost != mq.WriteCost {
+		t.Fatalf("MQSSD service times diverge from SSD: %+v vs %+v", mq, ssd)
 	}
 	d := NewDevice(64, HDD, nil)
 	id := d.Alloc(rum.Base)
@@ -131,6 +144,32 @@ func TestMediumCosts(t *testing.T) {
 	}
 	if d.Stats().CostUnits != 100 {
 		t.Fatalf("HDD read cost: %d", d.Stats().CostUnits)
+	}
+	if _, err := ParseMedium("floppy"); err == nil {
+		t.Fatal("ParseMedium accepted an unknown medium")
+	}
+}
+
+// TestInvalidMediumPanics pins the satellite contract: a misconfigured
+// medium must fail at construction, not silently price like RAM.
+func TestInvalidMediumPanics(t *testing.T) {
+	for _, m := range []Medium{Medium(-1), Medium(99)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewDevice(%d) did not panic", int(m))
+				}
+			}()
+			NewDevice(64, m, nil)
+		}()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Medium(%d).Model() did not panic", int(m))
+				}
+			}()
+			m.Model()
+		}()
 	}
 }
 
