@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race racecheck bench golden chaos-smoke serve-smoke serve-live-smoke mvcc-smoke mvcc-race wal-smoke qdsweep-smoke
+.PHONY: check build vet test race racecheck bench golden chaos-smoke serve-smoke serve-live-smoke mvcc-smoke mvcc-race wal-smoke qdsweep-smoke drift-smoke benchjson
 
 ## check: the full gate — build, vet, race-enabled tests, and the
 ## single-owner assertion build.
@@ -89,6 +89,22 @@ qdsweep-smoke:
 	$(GO) run ./cmd/rumbench -exp qdsweep -quick -n 2048 -ops 1000 \
 		-parallel 8 >/tmp/qd-par.txt
 	diff /tmp/qd-seq.txt /tmp/qd-par.txt
+
+## drift-smoke: the workload-observability determinism gate — the drift
+## experiment (12 fingerprint windows, drift latches, advisor verdicts)
+## must render byte-identical stdout at any pool width.
+drift-smoke:
+	$(GO) run ./cmd/rumbench -exp drift -parallel 1 >/tmp/drift-seq.txt
+	$(GO) run ./cmd/rumbench -exp drift -parallel 8 >/tmp/drift-par.txt
+	diff /tmp/drift-seq.txt /tmp/drift-par.txt
+
+## benchjson: regenerate BENCH_10.json, the machine-readable per-cell perf
+## summary (ops per 1000 medium-weighted cost units for every walsweep and
+## qdsweep cell). Deterministic — no wall-clock — so CI diffs it against
+## the committed artifact and the bench trajectory accumulates across PRs.
+benchjson:
+	$(GO) run ./cmd/rumbench -exp walsweep,qdsweep -quick -n 2048 -ops 1000 \
+		-benchjson BENCH_10.json >/dev/null
 
 ## mvcc-race: the single-writer/many-reader packages under the race
 ## detector alone — quicker signal than the full `race` target when

@@ -33,6 +33,17 @@
 // durability contract. The -faults flag sets the plan; empty selects a
 // default degradation profile.
 //
+// The drift experiment drives one serving instance through a diurnal,
+// phase-shifting workload (write-heavy ingest → zipf read serving → scan
+// storm) with the online workload fingerprinter attached, and maps every
+// fingerprint window through the report-only RUM advisor — drift events
+// latch at the phase boundaries and the advised configuration changes with
+// the traffic. Its stdout is byte-deterministic at any -parallel width.
+//
+// The -benchjson flag writes a machine-readable perf summary: every device-
+// metered cell's deterministic ops-per-kilocost figure, for tracking the
+// bench trajectory across revisions.
+//
 // The -trace/-timeseries/-metrics flags attach an observability layer
 // (internal/obs) to every traced experiment (table1, fig1, fig3,
 // conjecture): per-operation JSONL spans, a CSV RUM time series, and a
@@ -46,6 +57,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -62,7 +74,7 @@ import (
 )
 
 // knownExps lists every experiment name, in run order.
-var knownExps = []string{"props", "table1", "fig1", "fig2", "fig3", "conjecture", "adaptive", "extensions", "chaos", "serve", "mvcc", "walsweep", "qdsweep"}
+var knownExps = []string{"props", "table1", "fig1", "fig2", "fig3", "conjecture", "adaptive", "extensions", "chaos", "serve", "mvcc", "walsweep", "qdsweep", "drift"}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -94,6 +106,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		batch      = fs.Int("batch", 64, "serve experiment: requests per client batch")
 		mixSpec    = fs.String("mix", "", "mvcc experiment: comma-separated mix presets (empty = read50,read99)")
 		staleSpec  = fs.String("staleness", "", "mvcc experiment: comma-separated publish cadences in writes between snapshot publishes (empty = 1,256)")
+		benchjson  = fs.String("benchjson", "", "write a machine-readable per-cell perf summary (deterministic ops/kcost JSON) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -161,6 +174,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		observer = obs.New(obs.Config{SampleEvery: *sample})
 		cfg.Obs = observer
 		cfg.Storage.Hook = observer
+	}
+	var perf *bench.Perf
+	if *benchjson != "" {
+		perf = &bench.Perf{}
+		cfg.Perf = perf
 	}
 
 	// Experiments return (stdout, stderr) text: stdout is the deterministic
@@ -230,6 +248,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 				c.Ops = 8000
 			}
 			return bench.RunQDSweep(c).Render()
+		}),
+		"drift": quiet(func(c bench.Config) string {
+			if c.N == 0 {
+				c.N = 16384
+			}
+			if c.Ops == 0 {
+				c.Ops = 12000
+			}
+			return bench.RunDrift(c).Render()
 		}),
 		"serve": func(c bench.Config) (string, string) {
 			if c.N == 0 {
@@ -376,6 +403,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if exportErr {
 			return 1
 		}
+	}
+	if perf != nil {
+		// The perf artifact is deterministic (ops per kilocost, no wall
+		// clock), so revisions of it diff cleanly across hosts and runs.
+		doc := struct {
+			Schema string            `json:"schema"`
+			Seed   int64             `json:"seed"`
+			N      int               `json:"n"`
+			Ops    int               `json:"ops"`
+			Cells  []bench.PerfEntry `json:"cells"`
+		}{Schema: "rumbench-perf/v1", Seed: *seed, N: *n, Ops: *ops, Cells: perf.Entries()}
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*benchjson, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "rumbench: -benchjson: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "  benchjson (%d cells) → %s\n", len(doc.Cells), *benchjson)
 	}
 	if failures > 0 {
 		fmt.Fprintf(stderr, "rumbench: %d experiment(s) failed\n", failures)

@@ -46,6 +46,16 @@
 // batch (DESIGN.md §10) — the durability contract becomes DurableToCommit;
 // /metrics gains the rum_wal_* families (commits, syncs, checkpoints, log
 // pages and bytes, the committed watermark).
+//
+// With -workload, every shard fingerprints its op stream in op-count
+// windows (DESIGN.md §12): mix, heavy-hitter skew, working-set cardinality,
+// and window-to-window drift, with a report-only RUM advisor pricing each
+// window against the catalog. /metrics gains the rum_workload_* families,
+// /debug/workload serves the merged snapshot plus the advisor's full
+// ranking, and the final report carries the advisor's verdict. -dist skews
+// the driver streams' key popularity (zipf:1.1, hotspot:90/10) to give the
+// fingerprinter something to see. Without -workload the scrape is
+// byte-identical to unfingerprinted builds.
 package main
 
 import (
@@ -110,6 +120,13 @@ type config struct {
 	// shards additionally commit at the end of every mailbox batch.
 	wal         bool
 	commitBatch int
+	// workload turns on the shards' workload fingerprinter (op-count
+	// windows of workloadWindow ops); dist sets the generated streams' key
+	// popularity (uniform, zipf:θ, hotspot:HOT/KEYS).
+	workload       bool
+	workloadWindow int
+	dist           bench.KeyDist
+	distSpec       string
 }
 
 // atomicHook counts storage events across all shard goroutines — the
@@ -220,6 +237,9 @@ type daemon struct {
 	stopCh  chan struct{}
 	wg      sync.WaitGroup // drivers + sampler
 	stopped bool
+	// finalWorkload is the merged fingerprint snapshot captured at Stop —
+	// the state behind the final report's advisor lines.
+	finalWorkload *obs.WorkloadSnapshot
 }
 
 // slowTraceCap is the flight-recorder capacity: the slowest recent requests
@@ -253,11 +273,16 @@ func newDaemon(cfg config) (*daemon, error) {
 		return nil, err
 	}
 	d.recs = make([]*obs.PhaseRecorder, cfg.shards)
+	var wl *serve.WorkloadConfig
+	if cfg.workload {
+		wl = &serve.WorkloadConfig{WindowOps: cfg.workloadWindow}
+	}
 	srv, err := serve.New(serve.Config{
 		Shards:       cfg.shards,
 		MaxBatch:     cfg.batch,
 		Snapshots:    cfg.mvcc,
 		StalenessOps: cfg.staleness,
+		Workload:     wl,
 		Trace: &serve.TraceConfig{
 			SlowK:   slowTraceCap,
 			SlowTTL: time.Minute,
@@ -289,7 +314,7 @@ func newDaemon(cfg config) (*daemon, error) {
 
 	var init []core.Record
 	for c := 0; c < cfg.clients; c++ {
-		g := bench.NewStreamGen(cfg.seed, c, cfg.mix)
+		g := bench.NewStreamGenDist(cfg.seed, c, cfg.mix, cfg.dist)
 		d.gens = append(d.gens, g)
 		d.lats = append(d.lats, newLatencyRecorder())
 		init = append(init, g.InitRecords(cfg.n/cfg.clients)...)
@@ -409,7 +434,11 @@ func (d *daemon) sampleOnce() {
 	for _, l := range d.lats {
 		merged.Merge(l.clone())
 	}
-	p := &obs.WindowPoint{At: time.Now(), Latency: merged, Phases: serve.AggregatePhases(reports)}
+	p := &obs.WindowPoint{
+		At: time.Now(), Latency: merged,
+		Phases:   serve.AggregatePhases(reports),
+		Workload: serve.AggregateWorkload(reports),
+	}
 	for _, r := range reports {
 		p.Shards = append(p.Shards, obs.ShardPoint{
 			Shard: r.Shard, Ops: r.Ops, Meter: r.Meter, Size: r.Size, Len: r.Len,
@@ -552,6 +581,12 @@ func (d *daemon) collectMetrics(e *obs.Encoder) {
 		e.Uint("rum_wal_overlay_records", nil, uint64(wp.OverlayRecords))
 	}
 
+	// Workload fingerprint plane: present only with -workload, so the
+	// default scrape stays byte-identical to unfingerprinted builds.
+	if last != nil && last.Workload != nil {
+		d.collectWorkloadMetrics(e, last.Workload)
+	}
+
 	e.Family("rum_request_latency_ns", "histogram", "Per-batch request latency in nanoseconds (power-of-two buckets).")
 	e.Histo("rum_request_latency_ns", nil, lat)
 
@@ -594,6 +629,65 @@ func (d *daemon) collectMetrics(e *obs.Encoder) {
 		e.Family("rum_live_batched_pages_total", "counter", "Pages carried by amortized batch submissions across all shards.")
 		e.Uint("rum_live_batched_pages_total", nil, d.hook.batchedPages.Load())
 	}
+}
+
+// collectWorkloadMetrics renders the rum_workload_* families from the
+// newest merged fingerprint snapshot. Mix/skew/working-set gauges describe
+// the last completed window; ops and drift-event counters are cumulative.
+func (d *daemon) collectWorkloadMetrics(e *obs.Encoder, w *obs.WorkloadSnapshot) {
+	e.Family("rum_workload_windows_total", "counter", "Completed fingerprint windows across all shards.")
+	e.Uint("rum_workload_windows_total", nil, w.Windows)
+	e.Family("rum_workload_window_ops", "gauge", "Configured ops per fingerprint window (per shard).")
+	e.Uint("rum_workload_window_ops", nil, w.WindowOps)
+	e.Family("rum_workload_ops_total", "counter", "Fingerprinted operations by kind, cumulative.")
+	for op := obs.WorkloadOp(0); op < obs.NumWorkloadOps; op++ {
+		e.Uint("rum_workload_ops_total", obs.L("op", op.String()), w.Cum[op])
+	}
+	if last := w.Last; last != nil {
+		st := last.Stats()
+		e.Family("rum_workload_mix", "gauge", "Operation-mix fraction of the last completed fingerprint window.")
+		for op := obs.WorkloadOp(0); op < obs.NumWorkloadOps; op++ {
+			e.Float("rum_workload_mix", obs.L("op", op.String()), last.MixFrac(op))
+		}
+		e.Family("rum_workload_hot_share", "gauge", "Fraction of last-window keyed ops on the heavy-hitter set.")
+		e.Float("rum_workload_hot_share", nil, st.HotShare)
+		e.Family("rum_workload_zipf_slope", "gauge", "Estimated key-skew exponent of the last window's heavy hitters.")
+		e.Float("rum_workload_zipf_slope", nil, st.ZipfSlope)
+		e.Family("rum_workload_distinct_keys", "gauge", "Estimated working-set cardinality of the last window.")
+		e.Float("rum_workload_distinct_keys", nil, st.Distinct)
+		e.Family("rum_workload_hot_key_ops", "gauge", "Estimated op count of the last window's heavy hitters (exemplar keys).")
+		for rank, h := range last.Hot {
+			e.Uint("rum_workload_hot_key_ops",
+				obs.L("rank", fmt.Sprintf("%d", rank), "key", fmt.Sprintf("%d", h.Key)), h.Count)
+		}
+	}
+	if w.CumScanRows != nil {
+		e.Family("rum_workload_scan_rows", "histogram", "Rows returned per range scan, cumulative.")
+		e.Histo("rum_workload_scan_rows", nil, w.CumScanRows)
+	}
+	e.Family("rum_workload_drift_score", "gauge", "Distance between the two newest fingerprint windows (max across shards).")
+	e.Float("rum_workload_drift_score", nil, w.Drift)
+	e.Family("rum_workload_drift_events_total", "counter", "Workload drift events latched across all shards.")
+	e.Uint("rum_workload_drift_events_total", nil, w.DriftCount)
+	if adv, ok := d.advise(w); ok {
+		e.Family("rum_workload_advice_delta", "gauge", "Predicted per-op page-access saving of moving to the advisor's pick (0 = best placed).")
+		e.Float("rum_workload_advice_delta", nil, adv.Delta)
+		e.Family("rum_workload_advice", "gauge", "Advisor verdict for the last window: current and advised configuration as labels.")
+		e.Uint("rum_workload_advice", obs.L("current", adv.Current.Config, "advised", adv.Best.Config), 1)
+	}
+}
+
+// advise prices the newest merged fingerprint against the catalog. The
+// dataset size comes from the newest snapshot's record total.
+func (d *daemon) advise(w *obs.WorkloadSnapshot) (obs.Advice, bool) {
+	if w == nil || w.Last == nil {
+		return obs.Advice{}, false
+	}
+	records := 0
+	if last := d.ring.Last(); last != nil {
+		_, _, _, records = last.Totals()
+	}
+	return obs.Advise(w.Last, float64(records), d.cfg.method), true
 }
 
 // debugRUM is the /debug/rum JSON document.
@@ -666,6 +760,35 @@ func jsonSafe(v float64) float64 {
 	return v
 }
 
+// handleDebugWorkload renders the fingerprinter's view: the merged
+// snapshot (last window, retained history, drift events) plus the advisor's
+// full ranking for the newest window. Lock-free — everything derives from
+// the sampler's ring.
+func (d *daemon) handleDebugWorkload(w http.ResponseWriter, _ *http.Request) {
+	doc := struct {
+		Enabled   bool                  `json:"enabled"`
+		WindowOps int                   `json:"window_ops"`
+		Dist      string                `json:"dist"`
+		Snapshot  *obs.WorkloadSnapshot `json:"snapshot,omitempty"`
+		Last      *obs.FingerprintStats `json:"last,omitempty"`
+		Advice    *obs.Advice           `json:"advice,omitempty"`
+	}{Enabled: d.cfg.workload, WindowOps: d.cfg.workloadWindow, Dist: d.cfg.dist.String()}
+	if last := d.ring.Last(); last != nil && last.Workload != nil {
+		doc.Snapshot = last.Workload
+		if fp := last.Workload.Last; fp != nil {
+			st := fp.Stats()
+			doc.Last = &st
+		}
+		if adv, ok := d.advise(last.Workload); ok {
+			doc.Advice = &adv
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc)
+}
+
 // handleDebugSlow renders the flight recorder: the slowest recent requests,
 // slowest first, each with its queue/service/device decomposition. The read
 // is lock-free, so an aggressive poller never blocks a shard.
@@ -689,6 +812,7 @@ func (d *daemon) handler() http.Handler {
 	mux.Handle("/metrics", d.reg)
 	mux.HandleFunc("/debug/rum", d.handleDebugRUM)
 	mux.HandleFunc("/debug/slow", d.handleDebugSlow)
+	mux.HandleFunc("/debug/workload", d.handleDebugWorkload)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		io.WriteString(w, "ok\n")
 	})
@@ -716,6 +840,7 @@ func (d *daemon) stop() (bench.ServeResult, error) {
 		err = flushErr
 	}
 	meter, size, n := serve.Aggregate(reports)
+	d.finalWorkload = serve.AggregateWorkload(reports)
 
 	latency := obs.NewLatencyHistogram()
 	for _, l := range d.lats {
@@ -790,6 +915,9 @@ func run(args []string, stdout, stderr io.Writer, testSignal <-chan struct{}) in
 	fs.IntVar(&cfg.staleness, "staleness", 1, "with -mvcc: writes between snapshot publishes (1 = read-your-writes)")
 	fs.BoolVar(&cfg.wal, "wal", false, "write-ahead log every mutation (btree and lsm methods); upgrades durability to commit, /metrics gains rum_wal_*")
 	fs.IntVar(&cfg.commitBatch, "commit-batch", 64, "with -wal: records per group commit; shards also commit at the end of every mailbox batch")
+	fs.BoolVar(&cfg.workload, "workload", false, "fingerprint the op stream per shard; /metrics gains rum_workload_*, /debug/workload reports the advisor")
+	fs.IntVar(&cfg.workloadWindow, "workload-window", 4096, "with -workload: ops per fingerprint window")
+	fs.StringVar(&cfg.distSpec, "dist", "", "key-popularity distribution of the driver streams: uniform, zipf:THETA, hotspot:HOT/KEYS (empty = uniform)")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -817,6 +945,12 @@ func run(args []string, stdout, stderr io.Writer, testSignal <-chan struct{}) in
 	if cfg.medium, err = storage.ParseMedium(cfg.mediumSpec); err != nil {
 		return badFlag("-medium: %v", err)
 	}
+	if cfg.dist, err = bench.ParseKeyDist(cfg.distSpec); err != nil {
+		return badFlag("-dist: %v", err)
+	}
+	if cfg.mix.Scan > 0 {
+		return badFlag("-mix: scans are not driven by the live daemon (use `rumbench -exp drift` for the scan-storm scenario)")
+	}
 	switch {
 	case cfg.shards < 1:
 		return badFlag("-shards must be ≥ 1 (got %d)", cfg.shards)
@@ -836,6 +970,8 @@ func run(args []string, stdout, stderr io.Writer, testSignal <-chan struct{}) in
 		return badFlag("-staleness must be ≥ 1 (got %d)", cfg.staleness)
 	case cfg.commitBatch < 1:
 		return badFlag("-commit-batch must be ≥ 1 (got %d)", cfg.commitBatch)
+	case cfg.workloadWindow < 1:
+		return badFlag("-workload-window must be ≥ 1 (got %d)", cfg.workloadWindow)
 	case cfg.wal && cfg.mvcc:
 		return badFlag("-wal and -mvcc are mutually exclusive: the log owns the checkpoint machinery the snapshot read path would share")
 	}
@@ -890,6 +1026,20 @@ func run(args []string, stdout, stderr io.Writer, testSignal <-chan struct{}) in
 	httpSrv.Shutdown(ctx)
 
 	fmt.Fprint(stdout, res.Render())
+	// Fingerprint + advisor lines of the final report: what the traffic
+	// looked like and where the paper's cost model says it would be cheaper.
+	if w := d.finalWorkload; w != nil {
+		fmt.Fprintf(stdout, "workload: %d window(s) of %d ops, %d drift event(s) latched\n",
+			w.Windows, w.WindowOps, w.DriftCount)
+		if fp := w.Last; fp != nil {
+			st := fp.Stats()
+			fmt.Fprintf(stdout, "workload: last window mix g/i/u/d/s %.2f/%.2f/%.2f/%.2f/%.2f, hot share %.2f, zipf %.2f, ~%.0f distinct keys\n",
+				st.Get, st.Insert, st.Update, st.Delete, st.Scan, st.HotShare, st.ZipfSlope, st.Distinct)
+		}
+		if adv, ok := d.advise(w); ok {
+			fmt.Fprintf(stdout, "%s\n", adv)
+		}
+	}
 	fmt.Fprint(stderr, res.RenderTiming())
 	// The flight recorder outlives Stop; dump the worst offenders so a
 	// Ctrl-C'd run leaves its slowest requests on record.

@@ -258,6 +258,10 @@ func TestRunFlagErrors(t *testing.T) {
 		{"negative scrape", []string{"-scrape", "-1ms"}, 2},
 		{"bad commit batch", []string{"-commit-batch", "0"}, 2},
 		{"wal with mvcc", []string{"-wal", "-mvcc"}, 2},
+		{"bad dist", []string{"-dist", "latest"}, 2},
+		{"bad zipf theta", []string{"-dist", "zipf:0"}, 2},
+		{"scan mix", []string{"-mix", "get=0.6,scan=0.4"}, 2},
+		{"bad workload window", []string{"-workload", "-workload-window", "0"}, 2},
 		{"unknown method", []string{"-method", "no-such-method", "-addr", "127.0.0.1:0"}, 1},
 	}
 	for _, tc := range cases {
@@ -319,6 +323,110 @@ func TestDaemonMVCC(t *testing.T) {
 	}
 	if row := res.Rows[0]; !row.Verified {
 		t.Fatalf("mvcc live run not verified: %+v", row)
+	}
+}
+
+// TestDaemonWorkload drives the daemon with fingerprinting on and a skewed
+// stream: the rum_workload_* series must appear with live values, the
+// /debug/workload document must carry the snapshot and the advisor's
+// ranking, and the final report must still verify. The unfingerprinted
+// daemon's scrape must carry no rum_workload_ series at all.
+func TestDaemonWorkload(t *testing.T) {
+	cfg := testConfig()
+	cfg.workload = true
+	cfg.workloadWindow = 64
+	dist, err := bench.ParseKeyDist("zipf:1.1")
+	if err != nil {
+		t.Fatalf("ParseKeyDist: %v", err)
+	}
+	cfg.dist = dist
+	d, err := newDaemon(cfg)
+	if err != nil {
+		t.Fatalf("newDaemon: %v", err)
+	}
+	waitFor(t, "a completed fingerprint window", func() bool {
+		last := d.ring.Last()
+		return last != nil && last.Workload != nil && last.Workload.Windows > 0
+	})
+
+	_, body, _ := get(t, d, "/metrics")
+	for _, series := range []string{
+		"rum_workload_windows_total", "rum_workload_window_ops",
+		`rum_workload_ops_total{op="get"}`, `rum_workload_ops_total{op="insert"}`,
+		`rum_workload_mix{op="get"}`, "rum_workload_hot_share",
+		"rum_workload_zipf_slope", "rum_workload_distinct_keys",
+		`rum_workload_hot_key_ops{rank="0"`, "rum_workload_drift_score",
+		"rum_workload_drift_events_total", "rum_workload_advice_delta",
+		`rum_workload_advice{current="`,
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("/metrics missing %q", series)
+		}
+	}
+
+	code, body, ctype := get(t, d, "/debug/workload")
+	if code != 200 || ctype != "application/json" {
+		t.Fatalf("/debug/workload = %d %q", code, ctype)
+	}
+	var doc struct {
+		Enabled   bool `json:"enabled"`
+		WindowOps int  `json:"window_ops"`
+		Snapshot  *struct {
+			Windows uint64 `json:"windows"`
+		} `json:"snapshot"`
+		Last *struct {
+			Ops      uint64  `json:"ops"`
+			HotShare float64 `json:"hot_share"`
+		} `json:"last"`
+		Advice *struct {
+			Ranked []struct {
+				Config string  `json:"config"`
+				Cost   float64 `json:"cost"`
+			} `json:"ranked"`
+			Best struct {
+				Config string `json:"config"`
+			} `json:"best"`
+		} `json:"advice"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/debug/workload is not JSON: %v\n%s", err, body)
+	}
+	if !doc.Enabled || doc.WindowOps != 64 {
+		t.Fatalf("/debug/workload config wrong: %+v", doc)
+	}
+	if doc.Snapshot == nil || doc.Snapshot.Windows == 0 || doc.Last == nil || doc.Last.Ops == 0 {
+		t.Fatalf("/debug/workload snapshot empty:\n%s", body)
+	}
+	if doc.Advice == nil || len(doc.Advice.Ranked) < 5 || doc.Advice.Best.Config == "" {
+		t.Fatalf("/debug/workload advice missing:\n%s", body)
+	}
+
+	res, err := d.stop()
+	if err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	if row := res.Rows[0]; !row.Verified {
+		t.Fatalf("fingerprinted live run not verified: %+v", row)
+	}
+	if d.finalWorkload == nil || d.finalWorkload.Windows == 0 {
+		t.Fatal("stop captured no final workload snapshot")
+	}
+
+	// The unfingerprinted daemon must expose no workload series and report
+	// /debug/workload as disabled — the byte-identical default scrape.
+	d2, err := newDaemon(testConfig())
+	if err != nil {
+		t.Fatalf("newDaemon: %v", err)
+	}
+	defer d2.stop()
+	waitFor(t, "plain daemon snapshot", func() bool { return d2.ring.Last() != nil })
+	_, body, _ = get(t, d2, "/metrics")
+	if strings.Contains(body, "rum_workload_") {
+		t.Error("unfingerprinted /metrics leaks rum_workload_ series")
+	}
+	_, body, _ = get(t, d2, "/debug/workload")
+	if !strings.Contains(body, `"enabled": false`) {
+		t.Errorf("/debug/workload on a plain daemon: %s", body)
 	}
 }
 

@@ -1,0 +1,95 @@
+package approx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDistinctAccuracy(t *testing.T) {
+	for _, n := range []int{100, 1000, 10000, 100000} {
+		d := NewDefaultDistinct()
+		rng := rand.New(rand.NewSource(1))
+		seen := map[uint64]bool{}
+		for len(seen) < n {
+			k := rng.Uint64()
+			seen[k] = true
+			d.Add(k)
+			d.Add(k) // duplicates must not move the estimate
+		}
+		got := d.Estimate()
+		if err := math.Abs(got-float64(n)) / float64(n); err > 0.08 {
+			t.Fatalf("n=%d: estimate %.0f, relative error %.3f > 0.08", n, got, err)
+		}
+	}
+}
+
+func TestDistinctDeterministicSetFunction(t *testing.T) {
+	keys := make([]uint64, 5000)
+	rng := rand.New(rand.NewSource(9))
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	fwd, bwd := NewDefaultDistinct(), NewDefaultDistinct()
+	for _, k := range keys {
+		fwd.Add(k)
+	}
+	for i := len(keys) - 1; i >= 0; i-- {
+		bwd.Add(keys[i])
+		bwd.Add(keys[i])
+	}
+	if fwd.Estimate() != bwd.Estimate() {
+		t.Fatalf("add order moved the estimate: %v vs %v", fwd.Estimate(), bwd.Estimate())
+	}
+}
+
+func TestDistinctMergeIsUnion(t *testing.T) {
+	a, b, whole := NewDefaultDistinct(), NewDefaultDistinct(), NewDefaultDistinct()
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 20000; i++ {
+		k := rng.Uint64() % 30000 // overlapping sets
+		whole.Add(k)
+		if i%2 == 0 {
+			a.Add(k)
+		} else {
+			b.Add(k)
+		}
+	}
+	merged := a.Clone()
+	merged.Merge(b)
+	if merged.Estimate() != whole.Estimate() {
+		t.Fatalf("merge is not the union: merged %v, whole %v", merged.Estimate(), whole.Estimate())
+	}
+	// Merge must not mutate its argument, and Clone must be independent.
+	aBefore := a.Estimate()
+	b.Merge(a)
+	if a.Estimate() != aBefore {
+		t.Fatal("Merge mutated its argument")
+	}
+}
+
+func TestDistinctClear(t *testing.T) {
+	d := NewDefaultDistinct()
+	for i := 0; i < 1000; i++ {
+		d.Add(uint64(i))
+	}
+	d.Clear()
+	if got := d.Estimate(); got != 0 {
+		t.Fatalf("estimate %v after Clear, want 0", got)
+	}
+}
+
+func TestDistinctPrecisionClamp(t *testing.T) {
+	if got := NewDistinct(1).SizeBytes(); got != 1<<4 {
+		t.Fatalf("p=1 clamps to 16 registers, got %d", got)
+	}
+	if got := NewDistinct(99).SizeBytes(); got != 1<<16 {
+		t.Fatalf("p=99 clamps to 65536 registers, got %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("precision-mismatched Merge did not panic")
+		}
+	}()
+	NewDistinct(4).Merge(NewDistinct(8))
+}

@@ -1,0 +1,226 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+func TestParseKeyDist(t *testing.T) {
+	good := map[string]string{
+		"":               "uniform",
+		"uniform":        "uniform",
+		" uniform ":      "uniform",
+		"zipf":           "zipf:0.99",
+		"zipf:1.1":       "zipf:1.1",
+		"hotspot":        "hotspot:90/10",
+		"hotspot:90/10":  "hotspot:90/10",
+		"hotspot:0.8/.2": "hotspot:80/20",
+	}
+	for in, want := range good {
+		d, err := ParseKeyDist(in)
+		if err != nil {
+			t.Errorf("ParseKeyDist(%q): %v", in, err)
+			continue
+		}
+		if d.String() != want {
+			t.Errorf("ParseKeyDist(%q).String() = %q, want %q", in, d.String(), want)
+		}
+		// String form must round-trip.
+		d2, err := ParseKeyDist(d.String())
+		if err != nil || d2 != d {
+			t.Errorf("round trip of %q: got %+v err %v", d.String(), d2, err)
+		}
+	}
+	for _, in := range []string{"latest", "zipf:0", "zipf:9", "zipf:x", "hotspot:90", "hotspot:0/10", "hotspot:90/x"} {
+		if _, err := ParseKeyDist(in); err == nil {
+			t.Errorf("ParseKeyDist(%q) accepted", in)
+		}
+	}
+}
+
+// rank must be a pure function of its draws with in-range results at the
+// u→1 edges, and the skewed kinds must actually skew: zipf front-loads low
+// ranks, hotspot puts HotAccess of the mass on the first HotKeys·n ranks.
+func TestKeyDistRank(t *testing.T) {
+	const n = 1000
+	zipf, _ := ParseKeyDist("zipf:1.1")
+	hot, _ := ParseKeyDist("hotspot:90/10")
+	for _, d := range []KeyDist{UniformDist(), zipf, hot} {
+		for _, u := range []float64{0, 0.5, 0.999999, 1 - 1e-16} {
+			if i := d.rank(u, u, n); i < 0 || i >= n {
+				t.Errorf("%s.rank(%g) = %d out of range", d, u, i)
+			}
+		}
+		if d.rank(0.25, 0.25, n) != d.rank(0.25, 0.25, n) {
+			t.Errorf("%s.rank not deterministic", d)
+		}
+	}
+	// Tally mass over an evenly spaced grid of draws.
+	const grid = 10000
+	zipfLow, hotFront := 0, 0
+	for i := 0; i < grid; i++ {
+		u := (float64(i) + 0.5) / grid
+		u2 := float64((i*7919)%grid) / grid
+		if zipf.rank(u, 0, n) < n/100 {
+			zipfLow++
+		}
+		if hot.rank(u, u2, n) < n/10 {
+			hotFront++
+		}
+	}
+	// Theoretical mass on the top 1% of ranks for the truncated pareto at
+	// θ=1.1, n=1000 is ≈0.43 — far above uniform's 0.01.
+	if frac := float64(zipfLow) / grid; frac < 0.35 {
+		t.Errorf("zipf:1.1 puts %.2f of mass on the top 1%% of ranks, want ≈0.43", frac)
+	}
+	if frac := float64(hotFront) / grid; frac < 0.85 || frac > 0.95 {
+		t.Errorf("hotspot:90/10 puts %.2f of mass on the hot region, want ~0.90", frac)
+	}
+}
+
+// A uniform NewStreamGenDist stream and the scan-capable NextOp stream with
+// Scan=0 must both reproduce NewStreamGen's byte-exact request/outcome
+// sequence — the compatibility contract that keeps every pre-existing
+// experiment's stdout stable.
+func TestStreamGenDistUniformCompat(t *testing.T) {
+	const ops = 3000
+	mix := DefaultServeMix()
+	base := NewStreamGen(11, 2, mix)
+	viaDist := NewStreamGenDist(11, 2, mix, UniformDist())
+	viaOp := NewStreamGen(11, 2, mix)
+	base.InitRecords(256)
+	viaDist.InitRecords(256)
+	viaOp.InitRecords(256)
+	for i := 0; i < ops; i++ {
+		wreq, wwant := base.Next()
+		dreq, dwant := viaDist.Next()
+		if dreq != wreq || dwant != wwant {
+			t.Fatalf("op %d: uniform dist diverged: %+v vs %+v", i, dreq, wreq)
+		}
+		op := viaOp.NextOp()
+		if op.Scan {
+			t.Fatalf("op %d: scan generated from a scan-free mix", i)
+		}
+		if op.Req != wreq || op.Want != wwant {
+			t.Fatalf("op %d: NextOp diverged from Next: %+v vs %+v", i, op.Req, wreq)
+		}
+	}
+}
+
+// Skewed streams must shift traffic onto few keys without breaking the
+// model: every generated outcome stays correct (spot-checked by replaying
+// into a map), and the top-8 get-key share orders uniform < zipf.
+func TestStreamGenSkewedStreams(t *testing.T) {
+	share := func(dist string) float64 {
+		d, err := ParseKeyDist(dist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := NewStreamGenDist(5, 0, ServeMix{Get: 0.95, Insert: 0.05}, d)
+		g.InitRecords(2048)
+		counts := map[uint64]int{}
+		gets := 0
+		for i := 0; i < 8000; i++ {
+			req, _ := g.Next()
+			if req.Op == serve.OpGet {
+				counts[uint64(req.Key)]++
+				gets++
+			}
+		}
+		top := make([]int, 0, len(counts))
+		for _, c := range counts {
+			top = append(top, c)
+		}
+		// top-8 share
+		for i := 0; i < 8 && i < len(top); i++ {
+			for j := i + 1; j < len(top); j++ {
+				if top[j] > top[i] {
+					top[i], top[j] = top[j], top[i]
+				}
+			}
+		}
+		sum := 0
+		for i := 0; i < 8 && i < len(top); i++ {
+			sum += top[i]
+		}
+		return float64(sum) / float64(gets)
+	}
+	uni, zipf := share("uniform"), share("zipf:1.2")
+	if zipf < 4*uni || zipf < 0.2 {
+		t.Errorf("zipf top-8 get share %.3f vs uniform %.3f: not skewed", zipf, uni)
+	}
+}
+
+// The scan path: renormalized point thresholds keep the realized mix true
+// to the requested one (no residual mass leaking into delete), and every
+// scan's WantRows matches a replay of the model over [Lo, Hi].
+func TestStreamGenScanOps(t *testing.T) {
+	mix := ServeMix{Get: 0.50, Insert: 0.05, Update: 0.05, Scan: 0.40, ScanRows: 128, GetMiss: 0.05}
+	if err := mix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g := NewStreamGen(3, 1, DefaultServeMix())
+	g.InitRecords(1024)
+	g.SetPhase(mix, UniformDist())
+	var scans, deletes, points, rowsSum int
+	for i := 0; i < 6000; i++ {
+		op := g.NextOp()
+		if op.Scan {
+			scans++
+			rows := 0
+			for k := range g.modelKeys() {
+				if k >= uint64(op.Lo) && k <= uint64(op.Hi) {
+					rows++
+				}
+			}
+			if rows != op.WantRows {
+				t.Fatalf("scan %d: WantRows %d, model holds %d in range", scans, op.WantRows, rows)
+			}
+			rowsSum += rows
+			continue
+		}
+		points++
+		if op.Req.Op == serve.OpDelete {
+			deletes++
+		}
+	}
+	if frac := float64(scans) / 6000; frac < 0.35 || frac > 0.45 {
+		t.Errorf("scan fraction %.3f, want ~0.40", frac)
+	}
+	if frac := float64(deletes) / 6000; frac > 0.01 {
+		t.Errorf("delete fraction %.3f from a delete-free mix (threshold normalization broken)", frac)
+	}
+	if avg := float64(rowsSum) / float64(scans); avg < 64 || avg > 256 {
+		t.Errorf("mean scan rows %.0f, want near target 128", avg)
+	}
+}
+
+// modelKeys exposes the model's key set for test replay.
+func (g *StreamGen) modelKeys() map[uint64]bool {
+	m := make(map[uint64]bool, len(g.model))
+	for k := range g.model {
+		m[uint64(k)] = true
+	}
+	return m
+}
+
+func TestServeMixScanParsing(t *testing.T) {
+	m, err := ParseServeMix("get=0.5,insert=0.05,update=0.05,delete=0,scan=0.4,scanrows=512,getmiss=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Scan != 0.4 || m.ScanRows != 512 {
+		t.Fatalf("parsed %+v", m)
+	}
+	if !strings.Contains(m.String(), "scan=0.4") || !strings.Contains(m.String(), "scanrows=512") {
+		t.Errorf("String() drops scan fields: %s", m.String())
+	}
+	if _, err := ParseServeMix("get=0.5,scan=0.4"); err == nil {
+		t.Error("accepted a mix summing past 1")
+	}
+	if _, err := ParseServeMix("scan=-0.1"); err == nil {
+		t.Error("accepted a negative scan fraction")
+	}
+}

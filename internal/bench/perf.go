@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"sort"
+	"sync"
+)
+
+// Perf accumulates per-cell throughput samples across a rumbench invocation
+// so the bench trajectory can be tracked machine-readably between revisions
+// (the -benchjson artifact). Experiments that meter a device record each
+// cell's deterministic ops-per-kilocost figure here; wall-clock timing stays
+// out — the artifact must be diffable across hosts.
+//
+// A nil *Perf records nothing, so experiments call Record unconditionally.
+type Perf struct {
+	mu      sync.Mutex
+	entries []PerfEntry
+}
+
+// PerfEntry is one cell's throughput sample.
+type PerfEntry struct {
+	Exp  string `json:"exp"`
+	Cell string `json:"cell"`
+	// OpsPerKCost is operations per 1000 medium-weighted device cost units —
+	// the suite's deterministic throughput stand-in (see QDRow.OpsPerKCost).
+	OpsPerKCost float64 `json:"ops_per_kcost"`
+}
+
+// Record adds one cell's sample. Safe from concurrent run cells.
+func (p *Perf) Record(exp, cell string, opsPerKCost float64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.entries = append(p.entries, PerfEntry{Exp: exp, Cell: cell, OpsPerKCost: opsPerKCost})
+	p.mu.Unlock()
+}
+
+// Entries returns the samples sorted by (experiment, cell) — a stable order
+// regardless of runner width.
+func (p *Perf) Entries() []PerfEntry {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	out := append([]PerfEntry(nil), p.entries...)
+	p.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Exp != out[j].Exp {
+			return out[i].Exp < out[j].Exp
+		}
+		return out[i].Cell < out[j].Cell
+	})
+	return out
+}

@@ -168,6 +168,7 @@ func runQDCell(cfg Config, sub qdSubject, batch int) QDRow {
 	if total := after.CostUnits - before.CostUnits; total > 0 {
 		row.OpsPerKCost = float64(cfg.Ops) * 1000 / float64(total)
 	}
+	cfg.Perf.Record("qdsweep", fmt.Sprintf("%s/b=%d", sub.name, batch), row.OpsPerKCost)
 	slices.Sort(costs)
 	quantile := func(q float64) uint64 { return costs[int(q*float64(len(costs)-1))] }
 	row.CostP50, row.CostP99, row.CostMax = quantile(0.50), quantile(0.99), costs[len(costs)-1]

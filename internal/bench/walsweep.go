@@ -180,6 +180,7 @@ func runWALCell(cfg Config, sub walSubject, batch int) WALRow {
 	if total := dev.Stats().CostUnits - costBefore; total > 0 {
 		row.OpsPerKCost = float64(cfg.Ops) * 1000 / float64(total)
 	}
+	cfg.Perf.Record("walsweep", fmt.Sprintf("%s/b=%d", sub.name, batch), row.OpsPerKCost)
 	slices.Sort(costs)
 	quantile := func(q float64) uint64 { return costs[int(q*float64(len(costs)-1))] }
 	row.CostP50, row.CostP99, row.CostMax = quantile(0.50), quantile(0.99), costs[len(costs)-1]

@@ -21,11 +21,16 @@ import (
 // like the experiment.
 
 // ServeMix is the operation mix of a generated client stream. Get, Insert,
-// Update, and Delete are fractions of all requests (summing to ~1);
-// GetMiss is the fraction of gets that target an absent key.
+// Update, Delete, and Scan are fractions of all requests (summing to ~1);
+// GetMiss is the fraction of gets that target an absent key; ScanRows is
+// the target rows per range scan (default 256 when scans are present).
+// Scans are generated only by NextOp — Next serves scan-free mixes and its
+// draw sequence is byte-stable against pre-scan builds.
 type ServeMix struct {
 	Get, Insert, Update, Delete float64
 	GetMiss                     float64
+	Scan                        float64
+	ScanRows                    int
 }
 
 // DefaultServeMix returns the serve experiment's fixed mix: point-op heavy,
@@ -51,7 +56,13 @@ func (m ServeMix) Validate() error {
 			return fmt.Errorf("mix: %s=%g outside [0,1]", f.name, f.v)
 		}
 	}
-	sum := m.Get + m.Insert + m.Update + m.Delete
+	if m.Scan < 0 || m.Scan > 1 {
+		return fmt.Errorf("mix: scan=%g outside [0,1]", m.Scan)
+	}
+	if m.ScanRows < 0 {
+		return fmt.Errorf("mix: scanrows=%d negative", m.ScanRows)
+	}
+	sum := m.Get + m.Insert + m.Update + m.Delete + m.Scan
 	if sum < 0.999 || sum > 1.001 {
 		return fmt.Errorf("mix: op fractions sum to %g, want 1", sum)
 	}
@@ -122,8 +133,12 @@ func ParseServeMix(s string) (ServeMix, error) {
 			m.Delete = v
 		case "getmiss":
 			m.GetMiss = v
+		case "scan":
+			m.Scan = v
+		case "scanrows":
+			m.ScanRows = int(v)
 		default:
-			return m, fmt.Errorf("mix: unknown op %q (want get/insert/update/delete/getmiss)", kv[0])
+			return m, fmt.Errorf("mix: unknown op %q (want get/insert/update/delete/getmiss/scan/scanrows)", kv[0])
 		}
 	}
 	return m, m.Validate()
@@ -131,8 +146,20 @@ func ParseServeMix(s string) (ServeMix, error) {
 
 // String renders the mix in ParseServeMix form.
 func (m ServeMix) String() string {
-	return fmt.Sprintf("get=%g,insert=%g,update=%g,delete=%g,getmiss=%g",
+	s := fmt.Sprintf("get=%g,insert=%g,update=%g,delete=%g,getmiss=%g",
 		m.Get, m.Insert, m.Update, m.Delete, m.GetMiss)
+	if m.Scan > 0 {
+		s += fmt.Sprintf(",scan=%g,scanrows=%d", m.Scan, m.scanRows())
+	}
+	return s
+}
+
+// scanRows returns the target rows per scan, defaulted.
+func (m ServeMix) scanRows() int {
+	if m.ScanRows > 0 {
+		return m.ScanRows
+	}
+	return 256
 }
 
 // StreamGen deterministically generates one client's conflict-free request
@@ -146,6 +173,9 @@ type StreamGen struct {
 	ns               core.Key
 	tGet, tIns, tUpd float64
 	miss             float64
+	tScan            float64 // scan fraction; 0 keeps Next's exact draw sequence
+	scanRows         int
+	dist             KeyDist
 
 	used  map[core.Key]bool
 	model map[core.Key]core.Value
@@ -153,20 +183,27 @@ type StreamGen struct {
 	pos   map[core.Key]int
 }
 
-// NewStreamGen returns client's generator for the given seed and mix. The
-// (seed, client) pair fully determines the stream.
+// NewStreamGen returns client's generator for the given seed and mix, with
+// uniform key popularity. The (seed, client) pair fully determines the
+// stream.
 func NewStreamGen(seed int64, client int, mix ServeMix) *StreamGen {
-	return &StreamGen{
+	return NewStreamGenDist(seed, client, mix, UniformDist())
+}
+
+// NewStreamGenDist is NewStreamGen with an explicit key-popularity
+// distribution. A uniform dist reproduces NewStreamGen's streams byte for
+// byte (same draws, same keys); skewed dists change which live keys the
+// get/update/delete pickers favor, nothing else.
+func NewStreamGenDist(seed int64, client int, mix ServeMix, dist KeyDist) *StreamGen {
+	g := &StreamGen{
 		rng:   rand.New(rand.NewPCG(uint64(seed), serveStreamSalt+uint64(client))),
 		ns:    core.Key(client+1) << 44,
-		tGet:  mix.Get,
-		tIns:  mix.Get + mix.Insert,
-		tUpd:  mix.Get + mix.Insert + mix.Update,
-		miss:  mix.GetMiss,
 		used:  make(map[core.Key]bool),
 		model: make(map[core.Key]core.Value),
 		pos:   make(map[core.Key]int),
 	}
+	g.SetPhase(mix, dist)
+	return g
 }
 
 // fresh draws an unused key from the client's namespace.
@@ -194,12 +231,22 @@ func (g *StreamGen) removeLive(k core.Key) {
 	delete(g.pos, k)
 }
 
-// pick returns a uniformly random live key.
+// pick returns a random live key under the stream's distribution. The
+// uniform path is exactly one IntN draw — byte-identical to the
+// pre-distribution generator; zipf draws one Float64, hotspot two.
 func (g *StreamGen) pick() (core.Key, bool) {
-	if len(g.live) == 0 {
+	n := len(g.live)
+	if n == 0 {
 		return 0, false
 	}
-	return g.live[g.rng.IntN(len(g.live))], true
+	switch g.dist.Kind {
+	case "zipf":
+		return g.live[g.dist.rank(g.rng.Float64(), 0, n)], true
+	case "hotspot":
+		return g.live[g.dist.rank(g.rng.Float64(), g.rng.Float64(), n)], true
+	default:
+		return g.live[g.rng.IntN(n)], true
+	}
 }
 
 // insert generates a fresh-key insert, which always succeeds.
@@ -257,6 +304,83 @@ func (g *StreamGen) Next() (serve.Request, serve.Result) {
 		}
 		return g.insert()
 	}
+}
+
+// SetPhase switches the stream's mix and key distribution in place, keeping
+// the rng stream, the model, and the live set: the generator keeps producing
+// verifiable ops for the same keyspace while the traffic's shape changes —
+// the primitive the drift experiment builds its diurnal phases from.
+// Deterministic: the phase switch consumes no draws, so the stream after it
+// is a pure function of (seed, client, op index, phase schedule).
+func (g *StreamGen) SetPhase(mix ServeMix, dist KeyDist) {
+	// NextOp spends a first draw on scan-or-point, so the point thresholds
+	// are normalized over the point mass: the residual above tUpd is delete
+	// and nothing else. With Scan = 0 the scale is 1 — byte-identical to the
+	// pre-scan thresholds.
+	scale := 1.0
+	if mix.Scan > 0 && mix.Scan < 1 {
+		scale = 1 / (1 - mix.Scan)
+	}
+	g.tGet = mix.Get * scale
+	g.tIns = (mix.Get + mix.Insert) * scale
+	g.tUpd = (mix.Get + mix.Insert + mix.Update) * scale
+	g.miss = mix.GetMiss
+	g.tScan = mix.Scan
+	g.scanRows = mix.scanRows()
+	g.dist = dist
+}
+
+// StreamOp is one generated operation in the scan-capable stream form:
+// either a point request with its exact expected outcome, or (Scan true) a
+// range scan over [Lo, Hi] with its exact expected row count. Scan ranges
+// stay inside the client's namespace, so concurrent clients' scans are as
+// conflict-free as their point ops.
+type StreamOp struct {
+	Req  serve.Request
+	Want serve.Result
+
+	Scan     bool
+	Lo, Hi   core.Key
+	WantRows int
+}
+
+// NextOp generates the stream's next operation, scans included. For a
+// scan-free mix the scan branch never draws, so NextOp's stream is byte
+// identical to Next's; with Scan > 0 each op spends one extra Float64 draw
+// deciding scan-or-point first.
+func (g *StreamGen) NextOp() StreamOp {
+	if g.tScan > 0 && g.rng.Float64() < g.tScan {
+		return g.scanOp()
+	}
+	req, want := g.Next()
+	return StreamOp{Req: req, Want: want}
+}
+
+// scanOp generates a range scan anchored at a random live key, sized so
+// the range holds ~scanRows of this client's uniformly scattered keys, with
+// the exact expected row count computed from the model. Falls back to an
+// insert when nothing is live.
+func (g *StreamGen) scanOp() StreamOp {
+	n := len(g.live)
+	if n == 0 {
+		req, want := g.insert()
+		return StreamOp{Req: req, Want: want}
+	}
+	anchor := g.live[g.rng.IntN(n)]
+	const lowBits = 1<<40 - 1
+	span := core.Key(float64(uint64(lowBits)) / float64(n) * float64(g.scanRows))
+	lo := anchor
+	hi := anchor + span
+	if max := g.ns | lowBits; hi > max || hi < lo {
+		hi = max
+	}
+	rows := 0
+	for _, k := range g.live {
+		if k >= lo && k <= hi {
+			rows++
+		}
+	}
+	return StreamOp{Scan: true, Lo: lo, Hi: hi, WantRows: rows}
 }
 
 // Live returns the number of records the stream currently leaves live — the

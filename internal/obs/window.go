@@ -72,6 +72,9 @@ type WindowPoint struct {
 	// instant (cumulative queue/service/batch histograms and exemplars);
 	// nil when request tracing is disabled.
 	Phases *PhaseSnapshot
+	// Workload is the merged per-shard workload fingerprint at this instant
+	// (mix/skew/working-set/drift); nil when fingerprinting is disabled.
+	Workload *WorkloadSnapshot
 }
 
 // Totals aggregates the point's shards: summed meter, summed size, total
@@ -89,11 +92,17 @@ func (p *WindowPoint) Totals() (m rum.Meter, sz rum.SizeInfo, ops uint64, n int)
 // Rolling is a fixed-capacity ring of recent WindowPoints with lock-free
 // reads: one writer (the sampling loop) publishes immutable points; any
 // number of readers (HTTP scrape handlers) traverse without blocking the
-// writer or each other. Overwritten slots are detected by re-checking the
-// head counter, so readers retry instead of locking.
+// writer or each other. Writes are bracketed by a seqlock version counter
+// (odd while a store is in flight); readers snapshot the version before
+// traversing and retry if it moved, so a traversal can never interleave
+// with a slot overwrite. Re-checking head alone is not enough: a push
+// stores into the slot the oldest retained point occupies *before* bumping
+// head, so a reader racing that store could see the newest point in the
+// oldest position and still pass a head re-check.
 type Rolling struct {
 	slots []atomic.Pointer[WindowPoint]
 	head  atomic.Uint64 // number of points ever pushed
+	ver   atomic.Uint64 // seqlock: odd while Push is storing
 }
 
 // NewRolling returns a ring retaining the last capacity points (minimum 2 —
@@ -108,9 +117,11 @@ func NewRolling(capacity int) *Rolling {
 // Push publishes p as the newest point. Push is single-writer: only the
 // sampling loop may call it.
 func (r *Rolling) Push(p *WindowPoint) {
+	r.ver.Add(1) // odd: store in progress
 	h := r.head.Load()
 	r.slots[h%uint64(len(r.slots))].Store(p)
 	r.head.Store(h + 1)
+	r.ver.Add(1) // even: store visible
 }
 
 // Len returns the number of points currently retained.
@@ -131,12 +142,16 @@ func (r *Rolling) Last() *WindowPoint {
 	return r.slots[(h-1)%uint64(len(r.slots))].Load()
 }
 
-// Points returns the retained points, oldest first. If the writer laps the
-// ring mid-read the traversal restarts, so the returned slice is always a
+// Points returns the retained points, oldest first. If a push lands
+// mid-read the traversal restarts, so the returned slice is always a
 // consistent, time-ordered suffix of the push history.
 func (r *Rolling) Points() []*WindowPoint {
 	n := uint64(len(r.slots))
 	for {
+		v := r.ver.Load()
+		if v&1 == 1 {
+			continue // a store is mid-flight; wait it out
+		}
 		h := r.head.Load()
 		start := uint64(0)
 		if h > n {
@@ -148,7 +163,7 @@ func (r *Rolling) Points() []*WindowPoint {
 				out = append(out, p)
 			}
 		}
-		if r.head.Load() == h {
+		if r.ver.Load() == v {
 			return out
 		}
 	}
@@ -269,10 +284,15 @@ func shardBalance(p0, p1 *WindowPoint) float64 {
 
 // Window derives WindowStats over (approximately) the last w of wall time:
 // the newest retained point versus the oldest retained point no older than
-// w before it. With fewer than two points there is no window and ok is
+// w before it. A non-positive w is rejected (ok false) — it would silently
+// degenerate to the newest pair, which is a different measurement than the
+// caller asked for. With fewer than two points there is no window and ok is
 // false. The ring's capacity bounds how far back a window can reach — size
 // rings as capacity ≥ w / sampling interval.
 func (r *Rolling) Window(w time.Duration) (stats WindowStats, ok bool) {
+	if w <= 0 {
+		return WindowStats{}, false
+	}
 	pts := r.Points()
 	if len(pts) < 2 {
 		return WindowStats{}, false

@@ -111,6 +111,10 @@ type Config struct {
 	// per-shard phase histograms, the slow-op flight recorder). Nil — the
 	// default — keeps the hot path free of clock reads and allocations.
 	Trace *TraceConfig
+	// Workload enables workload fingerprinting (mix/skew/working-set
+	// windows, drift detection; see workload.go). Nil — the default — costs
+	// the hot path one nil check per message.
+	Workload *WorkloadConfig
 	// Snapshots enables the MVCC read path (see mvcc.go): shards publish
 	// epoch-stamped snapshots and pure-read sub-batches execute against them
 	// on the caller's goroutine, bypassing the mailbox entirely. Build's
@@ -239,6 +243,10 @@ type ShardReport struct {
 	// WAL is the structure's write-ahead-log ledger (nil when it is not
 	// logged), read on the shard goroutine like every other ledger field.
 	WAL *obs.WALPoint
+	// Workload is the shard's workload fingerprint snapshot (mix, skew,
+	// working set, drift events) — nil when fingerprinting is disabled, and
+	// nil in a dead shard's report.
+	Workload *obs.WorkloadSnapshot
 	// Err records a shard that died mid-run (a Build or operation panic).
 	// Requests routed to a dead shard complete with zero Results.
 	Err error
@@ -253,9 +261,11 @@ type shard struct {
 	report  ShardReport
 	// rec is the shard's phase recorder (nil when tracing is disabled),
 	// owned by the shard goroutine like everything else here; slow is the
-	// server-wide flight recorder it offers traces to.
+	// server-wide flight recorder it offers traces to; wrec is the shard's
+	// workload fingerprinter (nil when fingerprinting is disabled).
 	rec  *obs.PhaseRecorder
 	slow *obs.SlowLog
+	wrec *obs.WorkloadRecorder
 	// commit is the structure's group-commit hook (nil for structures that
 	// are not write-ahead logged), asserted once after Build.
 	commit Committer
@@ -371,6 +381,16 @@ func (s *Server) runShard(sh *shard) {
 		}
 		sh.slow = s.slow
 	}
+	if wc := s.cfg.Workload; wc != nil {
+		// Same contract as the phase recorder: created or fetched on the
+		// shard goroutine before Build, single-owner afterwards.
+		if wc.Recorder != nil {
+			sh.wrec = wc.Recorder(sh.id)
+		}
+		if sh.wrec == nil {
+			sh.wrec = obs.NewWorkloadRecorder(wc.WindowOps, wc.Keep)
+		}
+	}
 	am := s.cfg.Build(sh.id)
 	sh.commit, _ = am.Unwrap().(Committer)
 	if s.cfg.Snapshots {
@@ -384,6 +404,11 @@ func (s *Server) runShard(sh *shard) {
 		sh.apply(am, msg)
 	}
 	sh.shutdownSnaps()
+	if sh.wrec != nil {
+		// Force the final partial window out so the last phase of a run
+		// shorter than a window still fingerprints deterministically.
+		sh.wrec.Rotate()
+	}
 	sh.report = ShardReport{
 		Shard:        sh.id,
 		Name:         am.Name(),
@@ -396,6 +421,9 @@ func (s *Server) runShard(sh *shard) {
 	}
 	if sh.rec != nil {
 		sh.report.Phases = sh.rec.Snapshot()
+	}
+	if sh.wrec != nil {
+		sh.report.Workload = sh.wrec.Snapshot()
 	}
 }
 
@@ -427,6 +455,11 @@ func (sh *shard) apply(am *core.Instrumented, msg message) {
 				msg.res[i] = out
 			}
 			sh.ops += uint64(len(msg.idxs))
+		}
+		if sh.wrec != nil {
+			// A separate pass after execution keeps the batch loop above
+			// byte-for-byte identical to the unfingerprinted build.
+			sh.recordOps(msg)
 		}
 		if sh.commit != nil || sh.snapEvery > 0 {
 			writes := 0
@@ -470,6 +503,9 @@ func (sh *shard) apply(am *core.Instrumented, msg message) {
 			p.out = append(p.out, core.Record{Key: k, Value: v})
 			return true
 		})
+		if sh.wrec != nil {
+			sh.wrec.RecordScan(len(p.out))
+		}
 	case kindSnap:
 		// Read on the shard goroutine, like every other access: the meter,
 		// size, and record count are touched only by their single owner, so
@@ -488,6 +524,9 @@ func (sh *shard) apply(am *core.Instrumented, msg message) {
 		}
 		if sh.rec != nil {
 			rep.Phases = sh.rec.Snapshot()
+		}
+		if sh.wrec != nil {
+			rep.Workload = sh.wrec.Snapshot()
 		}
 		*msg.snap = rep
 	}

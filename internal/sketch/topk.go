@@ -1,0 +1,137 @@
+package sketch
+
+import "slices"
+
+// TopK tracks the heaviest keys of a stream with bounded memory: exact
+// per-key counters for the keys it retains, and a deterministic compaction
+// that drops the lightest entries when the table overflows. It is the
+// heavy-hitter half of the workload fingerprinter — the count-min sketch
+// answers "how often was this key seen", TopK answers "which keys dominate".
+//
+// Determinism contract. Items ranks by (count desc, key asc), so the output
+// is a pure function of the retained counter table. Absorb only sums counts
+// (no compaction), so folding per-shard trackers is commutative and
+// associative: any absorb order yields the same merged table, and therefore
+// the same ranking. Compaction happens only on Add, only when the table
+// exceeds its slack bound, and keeps the top retain entries under the same
+// (count desc, key asc) order — deterministic given the table contents.
+//
+// Accuracy. Dropping a light entry forgets its count; if the key returns it
+// restarts from zero. Heavy hitters under skew re-arrive constantly, so
+// their counters are exact in practice; uniform tails churn through the
+// slack region. This is the usual space-saving trade, biased toward
+// simplicity and determinism over tight error bounds.
+type TopK struct {
+	k      int
+	retain int // table size kept after a compaction
+	slack  int // table size that triggers a compaction
+	counts map[uint64]uint64
+
+	// scratch is the reusable sort buffer — the read path (ItemsInto) and the
+	// compaction path share it, so neither allocates in steady state.
+	scratch []KeyCount
+}
+
+// KeyCount is one ranked heavy hitter.
+type KeyCount struct {
+	Key   uint64 `json:"key"`
+	Count uint64 `json:"count"`
+}
+
+// NewTopK tracks the top k keys (minimum 1), retaining 4k counters and
+// compacting at 8k — enough slack that a heavy hitter's counter survives
+// tail churn.
+func NewTopK(k int) *TopK {
+	if k < 1 {
+		k = 1
+	}
+	t := &TopK{k: k, retain: 4 * k, slack: 8 * k}
+	t.counts = make(map[uint64]uint64, t.slack)
+	return t
+}
+
+// K returns the configured rank depth.
+func (t *TopK) K() int { return t.k }
+
+// Add charges delta to key, compacting the table if it overflowed.
+func (t *TopK) Add(key uint64, delta uint64) {
+	t.counts[key] += delta
+	if len(t.counts) > t.slack {
+		t.compact()
+	}
+}
+
+// Absorb folds o's counters into t without compacting, so absorb order
+// cannot affect the merged table. Compaction resumes on the next Add.
+func (t *TopK) Absorb(o *TopK) {
+	if o == nil {
+		return
+	}
+	for k, c := range o.counts {
+		t.counts[k] += c
+	}
+}
+
+// Clear drops every counter, keeping capacity — the rotation primitive.
+func (t *TopK) Clear() {
+	clear(t.counts)
+}
+
+// Len returns the number of retained counters.
+func (t *TopK) Len() int { return len(t.counts) }
+
+// compact keeps the heaviest retain entries under (count desc, key asc).
+func (t *TopK) compact() {
+	t.scratch = t.rank(t.scratch[:0])
+	for _, it := range t.scratch[t.retain:] {
+		delete(t.counts, it.Key)
+	}
+}
+
+// rank appends every entry to dst and sorts by (count desc, key asc).
+func (t *TopK) rank(dst []KeyCount) []KeyCount {
+	for k, c := range t.counts {
+		dst = append(dst, KeyCount{Key: k, Count: c})
+	}
+	slices.SortFunc(dst, func(a, b KeyCount) int {
+		if a.Count != b.Count {
+			if a.Count > b.Count {
+				return -1
+			}
+			return 1
+		}
+		switch {
+		case a.Key < b.Key:
+			return -1
+		case a.Key > b.Key:
+			return 1
+		}
+		return 0
+	})
+	return dst
+}
+
+// Items returns the top k entries, heaviest first, ties broken by key.
+func (t *TopK) Items() []KeyCount {
+	return append([]KeyCount(nil), t.ItemsInto(nil)...)
+}
+
+// ItemsInto appends the top k entries to dst and returns it — the zero-alloc
+// read path: with a nil dst it ranks into the tracker's reusable scratch
+// buffer and returns a view of it, valid until the next Add/ItemsInto.
+func (t *TopK) ItemsInto(dst []KeyCount) []KeyCount {
+	if dst == nil {
+		t.scratch = t.rank(t.scratch[:0])
+		if len(t.scratch) > t.k {
+			return t.scratch[:t.k]
+		}
+		return t.scratch
+	}
+	ranked := t.rank(t.scratch[:0])
+	t.scratch = ranked
+	n := len(ranked)
+	if n > t.k {
+		n = t.k
+	}
+	return append(dst, ranked[:n]...)
+}

@@ -13,6 +13,7 @@ trap 'kill "$PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
 
 "$BIN" -method btree -shards 2 -clients 2 -batch 16 -n 2048 \
   -rate 20000 -scrape 100ms -window 2s -addr 127.0.0.1:0 \
+  -workload -workload-window 256 -dist zipf:1.1 \
   >"$TMP/stdout" 2>"$TMP/stderr" &
 PID=$!
 
@@ -37,6 +38,7 @@ sleep 1
 curl -fsS "http://$ADDR/metrics" >"$TMP/metrics"
 curl -fsS "http://$ADDR/debug/rum" >"$TMP/debug"
 curl -fsS "http://$ADDR/debug/slow" >"$TMP/slow"
+curl -fsS "http://$ADDR/debug/workload" >"$TMP/workload"
 
 for series in rum_ro rum_uo rum_mo rum_ro_window rum_uo_window rum_mo_window \
   rum_requests_total rum_window_ops_per_sec rum_shard_balance \
@@ -61,6 +63,20 @@ grep -q '"window"' "$TMP/debug" || { echo "/debug/rum has no rolling window:"; c
 # The flight recorder holds traces under load, and each trace decomposes.
 grep -q '"total_ns"' "$TMP/slow" || { echo "/debug/slow has no traces:"; cat "$TMP/slow"; exit 1; }
 grep -q '"queue_ns"' "$TMP/slow" || { echo "/debug/slow traces lack decomposition:"; cat "$TMP/slow"; exit 1; }
+# The workload plane is on: its series are live and the fingerprint windows
+# have rotated under load.
+for series in rum_workload_windows_total rum_workload_ops_total \
+  rum_workload_mix rum_workload_hot_share rum_workload_zipf_slope \
+  rum_workload_distinct_keys rum_workload_drift_score \
+  rum_workload_advice_delta rum_workload_advice; do
+  grep -q "^$series" "$TMP/metrics" || {
+    echo "missing series $series in /metrics:"; cat "$TMP/metrics"; exit 1; }
+done
+awk '/^rum_workload_windows_total/ { if ($2+0 > 0) found=1 } END { exit !found }' "$TMP/metrics" || {
+  echo "no fingerprint window completed under load:"; grep rum_workload "$TMP/metrics"; exit 1; }
+grep -q '"enabled": true' "$TMP/workload" || { echo "/debug/workload not enabled:"; cat "$TMP/workload"; exit 1; }
+grep -q '"snapshot"' "$TMP/workload" || { echo "/debug/workload has no snapshot:"; cat "$TMP/workload"; exit 1; }
+grep -q '"ranked"' "$TMP/workload" || { echo "/debug/workload has no advisor ranking:"; cat "$TMP/workload"; exit 1; }
 
 kill -INT "$PID"
 for _ in $(seq 1 100); do
@@ -71,4 +87,6 @@ if kill -0 "$PID" 2>/dev/null; then echo "rumserve ignored SIGINT"; exit 1; fi
 wait "$PID" || { echo "rumserve exited non-zero:"; cat "$TMP/stderr"; exit 1; }
 
 grep -q "btree" "$TMP/stdout" || { echo "no final report on stdout:"; cat "$TMP/stdout"; exit 1; }
+grep -q "^workload:" "$TMP/stdout" || { echo "final report lacks workload lines:"; cat "$TMP/stdout"; exit 1; }
+grep -q "^advisor:" "$TMP/stdout" || { echo "final report lacks the advisor verdict:"; cat "$TMP/stdout"; exit 1; }
 echo "serve-live-smoke: ok ($ADDR)"
